@@ -1,0 +1,282 @@
+(* occamy-sim: command-line driver for the Occamy reproduction.
+
+   Subcommands:
+     run        simulate a co-running pair on one or all architectures
+     motivating run the Figure 2 motivating example
+     list       list workloads, pairs and 4-core groups
+     disasm     print the compiled EM-SIMD assembly of a workload
+     roofline   print the vector-length-aware roofline for a given phase
+     area       print the chip-area model breakdown
+*)
+
+open Cmdliner
+
+module Arch = Occamy_core.Arch
+module Sim = Occamy_core.Sim
+module Config = Occamy_core.Config
+module Metrics = Occamy_core.Metrics
+module Suite = Occamy_workloads.Suite
+module Table = Occamy_util.Table
+
+(* ---------------- shared argument converters ----------------------- *)
+
+let arch_conv =
+  let parse s =
+    match Arch.of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown architecture %S" s))
+  in
+  Arg.conv (parse, Arch.pp)
+
+let arch_arg =
+  Arg.(
+    value
+    & opt (some arch_conv) None
+    & info [ "a"; "arch" ] ~docv:"ARCH"
+        ~doc:"Architecture: private, fts, vls or occamy (default: all four).")
+
+let level_conv =
+  let parse = function
+    | "vc" | "veccache" -> Ok Occamy_mem.Level.Vec_cache
+    | "l2" -> Ok Occamy_mem.Level.L2
+    | "dram" -> Ok Occamy_mem.Level.Dram
+    | s -> Error (`Msg (Printf.sprintf "unknown level %S (vc|l2|dram)" s))
+  in
+  Arg.conv (parse, Occamy_mem.Level.pp)
+
+(* ---------------- result printing ---------------------------------- *)
+
+let print_result ?baseline (r : Metrics.t) =
+  Fmt.pr "%a" Metrics.pp_summary r;
+  Array.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          Fmt.pr "    phase %-18s %6d cycles  issue %.2f  lanes %.1f@."
+            p.Metrics.ps_name (Metrics.ps_cycles p) (Metrics.ps_issue_rate p)
+            (4.0 *. p.Metrics.ps_avg_vl))
+        c.Metrics.phases)
+    r.Metrics.cores;
+  match baseline with
+  | Some b when b != r ->
+    Array.iteri
+      (fun core _ ->
+        Fmt.pr "  speedup vs Private on core%d: %.2fx@." core
+          (Metrics.speedup_vs ~baseline:b r ~core))
+      r.Metrics.cores
+  | _ -> ()
+
+let run_archs ?cfg arch wls_of =
+  let archs = match arch with Some a -> [ a ] | None -> Arch.all in
+  let baseline =
+    if List.mem Arch.Private archs && List.length archs > 1 then
+      Some (Sim.simulate ?cfg ~arch:Arch.Private (wls_of ()))
+    else None
+  in
+  List.iter
+    (fun a ->
+      let r =
+        match (a, baseline) with
+        | Arch.Private, Some b -> b
+        | _ -> Sim.simulate ?cfg ~arch:a (wls_of ())
+      in
+      print_result ?baseline r)
+    archs
+
+(* ---------------- run ---------------------------------------------- *)
+
+let run_cmd =
+  let pair_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "pair" ] ~docv:"PAIR"
+          ~doc:
+            "Co-running pair label from Figure 10, e.g. 20+17 (SPEC) — see \
+             $(b,occamy-sim list). Prefix with ocv: for the OpenCV pairs, \
+             e.g. ocv:6+1.")
+  in
+  let run pair arch =
+    let lookup label =
+      if String.length label > 4 && String.sub label 0 4 = "ocv:" then
+        let l = String.sub label 4 (String.length label - 4) in
+        List.find_opt
+          (fun p -> p.Suite.label = l)
+          Suite.opencv_pairs
+      else
+        List.find_opt (fun p -> p.Suite.label = pair) Suite.spec_pairs
+    in
+    match lookup pair with
+    | None -> `Error (false, Printf.sprintf "unknown pair %S; try 'list'" pair)
+    | Some p ->
+      Fmt.pr "pair %s: %s on Core0, %s on Core1@." p.Suite.label
+        (Suite.source_name p.Suite.core0)
+        (Suite.source_name p.Suite.core1);
+      run_archs arch (fun () -> Suite.compile_pair p);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a co-running workload pair")
+    Term.(ret (const run $ pair_arg $ arch_arg))
+
+let motivating_cmd =
+  let run arch =
+    run_archs arch (fun () -> Occamy_workloads.Motivating.pair ())
+  in
+  Cmd.v
+    (Cmd.info "motivating" ~doc:"Run the Figure 2 motivating example")
+    Term.(const run $ arch_arg)
+
+(* ---------------- list --------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "SPEC pairs:   %s@."
+      (String.concat " " (List.map (fun p -> p.Suite.label) Suite.spec_pairs));
+    Fmt.pr "OpenCV pairs: %s@."
+      (String.concat " "
+         (List.map (fun p -> "ocv:" ^ p.Suite.label) Suite.opencv_pairs));
+    Fmt.pr "4-core groups:@.";
+    List.iter
+      (fun g -> Fmt.pr "  %s@." g.Suite.g_label)
+      Suite.four_core_groups;
+    Fmt.pr "SPEC workloads: WL1..WL22 — OpenCV workloads: OCV1..OCV12@."
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List workloads, pairs and groups")
+    Term.(const run $ const ())
+
+(* ---------------- disasm ------------------------------------------- *)
+
+let disasm_cmd =
+  let wl_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"WL1..WL22 (SPEC) or OCV1..OCV12.")
+  in
+  let run name =
+    let parse s =
+      if String.length s > 2 && String.sub s 0 2 = "WL" then
+        Option.map (fun i -> Suite.Spec_wl i)
+          (int_of_string_opt (String.sub s 2 (String.length s - 2)))
+      else if String.length s > 3 && String.sub s 0 3 = "OCV" then
+        Option.map (fun i -> Suite.Opencv_wl i)
+          (int_of_string_opt (String.sub s 3 (String.length s - 3)))
+      else None
+    in
+    match parse name with
+    | None -> `Error (false, "expected WL<n> or OCV<n>")
+    | Some src ->
+      let wl = Suite.compile src in
+      Fmt.pr "%a@." Occamy_isa.Program.pp wl.Occamy_core.Workload.program;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Print the compiled EM-SIMD assembly of a workload (Figure 9)")
+    Term.(ret (const run $ wl_arg))
+
+(* ---------------- roofline ----------------------------------------- *)
+
+let roofline_cmd =
+  let issue_arg =
+    Arg.(
+      value & opt float 0.17
+      & info [ "oi-issue" ] ~docv:"F" ~doc:"Issue operational intensity.")
+  in
+  let mem_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "oi-mem" ] ~docv:"F" ~doc:"Memory operational intensity.")
+  in
+  let level_arg =
+    Arg.(
+      value
+      & opt level_conv Occamy_mem.Level.L2
+      & info [ "level" ] ~docv:"LEVEL" ~doc:"Footprint level: vc, l2 or dram.")
+  in
+  let run issue mem level =
+    let cfg = Occamy_lanemgr.Roofline.default_cfg in
+    let oi = Occamy_isa.Oi.make ~issue ~mem in
+    let tbl =
+      Table.create
+        ~title:(Fmt.str "Roofline for oi=%a at %a" Occamy_isa.Oi.pp oi
+                  Occamy_mem.Level.pp level)
+        ~header:[ "lanes"; "issue"; "mem"; "compute"; "AP"; "binding" ]
+        ()
+    in
+    List.iter
+      (fun vl ->
+        let i, m, c, p =
+          Occamy_lanemgr.Roofline.table5_row cfg ~vl ~oi ~level
+        in
+        Table.add_row tbl
+          [
+            Table.icell (4 * vl);
+            Table.fcell i;
+            Table.fcell m;
+            Table.fcell c;
+            Table.fcell p;
+            Occamy_lanemgr.Roofline.bound_name
+              (Occamy_lanemgr.Roofline.binding cfg ~vl ~oi ~level);
+          ])
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+    Table.print tbl
+  in
+  Cmd.v
+    (Cmd.info "roofline"
+       ~doc:"Print the vector-length-aware roofline (Equation 4)")
+    Term.(const run $ issue_arg $ mem_arg $ level_arg)
+
+(* ---------------- area --------------------------------------------- *)
+
+let area_cmd =
+  let cores_arg =
+    Arg.(value & opt int 2 & info [ "cores" ] ~docv:"N" ~doc:"Core count.")
+  in
+  let run cores =
+    Table.print (Occamy_experiments.Fig12.area_table ~cores ())
+  in
+  Cmd.v
+    (Cmd.info "area" ~doc:"Print the chip-area model (Figure 12)")
+    Term.(const run $ cores_arg)
+
+(* ---------------- export ------------------------------------------- *)
+
+let export_cmd =
+  let dir_arg =
+    Arg.(
+      value & opt string "figures"
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory for the CSVs.")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "tc-scale" ] ~docv:"F"
+          ~doc:"Trip-count scale for the 25-pair sweep (smaller = faster).")
+  in
+  let run dir scale =
+    let files =
+      Occamy_experiments.Export.write_all ~dir ~tc_scale:scale ()
+    in
+    List.iter (Fmt.pr "wrote %s@.") files
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export figure data (timelines, pair series, Table 3) as CSV")
+    Term.(const run $ dir_arg $ scale_arg)
+
+(* ---------------- main --------------------------------------------- *)
+
+let () =
+  let doc =
+    "Occamy: elastically sharing a SIMD co-processor across CPU cores \
+     (ASPLOS'23 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "occamy-sim" ~version:"1.0.0" ~doc)
+          [ run_cmd; motivating_cmd; list_cmd; disasm_cmd; roofline_cmd;
+            area_cmd; export_cmd ]))

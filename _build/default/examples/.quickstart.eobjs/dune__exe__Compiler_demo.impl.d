@@ -1,0 +1,1 @@
+examples/compiler_demo.ml: Array Float Fmt Hashtbl List Occamy_compiler Occamy_core Occamy_isa Occamy_mem Occamy_util

@@ -1,0 +1,1 @@
+examples/motivating_example.ml: Array Fmt List Occamy_core Occamy_experiments Occamy_util String

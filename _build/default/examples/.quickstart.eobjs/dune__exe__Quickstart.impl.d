@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt List Occamy_compiler Occamy_core Occamy_isa Occamy_mem

@@ -1,0 +1,1 @@
+examples/roofline_explorer.ml: Fmt List Occamy_isa Occamy_lanemgr Occamy_mem Occamy_util

@@ -1,0 +1,1 @@
+examples/roofline_explorer.mli:

@@ -1,0 +1,1 @@
+examples/scalability.ml: Array Fmt List Occamy_core Occamy_util Occamy_workloads

@@ -1,0 +1,93 @@
+(* A tour of the Occamy compiler (§6): the Figure 9 code it generates and
+   the §6.4 correctness guarantee under adversarial vector-length
+   schedules.
+
+     dune exec examples/compiler_demo.exe
+*)
+
+module Loop_ir = Occamy_compiler.Loop_ir
+module Codegen = Occamy_compiler.Codegen
+module Analysis = Occamy_compiler.Analysis
+module Reference = Occamy_compiler.Reference
+module Interp = Occamy_isa.Interp
+module Rng = Occamy_util.Rng
+module Workload = Occamy_core.Workload
+
+let dot_product =
+  Loop_ir.(
+    loop ~name:"dot" ~trip_count:1000 ~level:Occamy_mem.Level.Vec_cache
+      [ reduce_sum "dot" ("a".%[0] *: "b".%[0]) ])
+
+(* An environment that changes its suggested vector length every few
+   reads and refuses a third of the requests. *)
+let chaotic_env ~seed =
+  let rng = Rng.create ~seed in
+  let decision = ref 4 in
+  let reads = ref 0 in
+  {
+    Interp.max_granules = 8;
+    request_vl =
+      (fun ~current:_ l ->
+        if l = 0 then Some 0
+        else if Rng.bool rng 0.33 then None
+        else Some l);
+    decision =
+      (fun () ->
+        incr reads;
+        if !reads mod 3 = 0 then decision := 1 + Rng.int rng 8;
+        !decision);
+    avail = (fun () -> 8);
+    on_oi = (fun _ -> ());
+  }
+
+let () =
+  (* 1. Show the source loop and its analysed behaviour. *)
+  Fmt.pr "source loop:@.%a@." Loop_ir.pp dot_product;
+  Fmt.pr "analysis: %a@.@." Analysis.pp_result (Analysis.analyse dot_product);
+
+  (* 2. Show the generated EM-SIMD assembly (the Figure 9 skeleton). *)
+  let wl =
+    Codegen.compile_workload ~name:"dot" ~kind:Workload.Compute_intensive
+      [ dot_product ]
+  in
+  Fmt.pr "generated code:@.%a@." Occamy_isa.Program.pp wl.Workload.program;
+
+  (* 3. Run under a chaotic reconfiguration schedule and compare against
+     the scalar reference. *)
+  let rng = Rng.create ~seed:2024 in
+  let mem = Hashtbl.create 4 in
+  List.iter
+    (fun (name, size) ->
+      Hashtbl.replace mem name
+        (Array.init size (fun _ -> Rng.float rng -. 0.5)))
+    (Codegen.array_plan [ dot_product ]);
+  let lookup name = Hashtbl.find mem name in
+
+  let interp = Interp.create ~env:(chaotic_env ~seed:99) wl.Workload.program in
+  Array.iter
+    (fun d ->
+      Interp.set_memory interp d.Occamy_isa.Program.arr_id
+        (Array.copy (lookup d.Occamy_isa.Program.arr_name)))
+    wl.Workload.program.Occamy_isa.Program.arrays;
+  let stats = Interp.run interp in
+
+  Reference.run ~mem:lookup [ dot_product ];
+  let want = (lookup "dot.out").(0) in
+  let got =
+    let d =
+      Array.to_list wl.Workload.program.Occamy_isa.Program.arrays
+      |> List.find (fun d -> d.Occamy_isa.Program.arr_name = "dot.out")
+    in
+    (Interp.memory interp d.Occamy_isa.Program.arr_id).(0)
+  in
+  Fmt.pr
+    "chaotic schedule: %d reconfigurations, %d refused requests along the \
+     way@."
+    stats.Interp.reconfigs stats.Interp.failed_requests;
+  Fmt.pr "dot product: vectorized %.9g vs scalar reference %.9g (|d|=%.2g)@."
+    got want
+    (Float.abs (got -. want));
+  assert (Float.abs (got -. want) < 1e-6);
+  Fmt.pr
+    "the reduction survived every vector-length change — the §6.4 carry \
+     mechanism at work.@."

@@ -1,0 +1,49 @@
+(* 4-core scalability (§7.6): the co-processor grows to 64 lanes and hosts
+   four co-running workloads; Occamy repartitions across all of them.
+
+     dune exec examples/scalability.exe
+*)
+
+module Sim = Occamy_core.Sim
+module Arch = Occamy_core.Arch
+module Config = Occamy_core.Config
+module Metrics = Occamy_core.Metrics
+module Suite = Occamy_workloads.Suite
+module Table = Occamy_util.Table
+
+let () =
+  let group = List.hd Suite.four_core_groups in
+  Fmt.pr "group %s on a 4-core, 64-lane machine@." group.Suite.g_label;
+  let cfg = Config.four_core in
+  let results =
+    List.map
+      (fun arch ->
+        (arch, Sim.simulate ~cfg ~arch (Suite.compile_group group)))
+      Arch.all
+  in
+  let base = List.assoc Arch.Private results in
+  let tbl =
+    Table.create ~title:"per-core finish times and speedups vs Private"
+      ~header:
+        [ "arch"; "core0"; "core1"; "core2"; "core3"; "s0"; "s1"; "s2"; "s3";
+          "util" ]
+      ~aligns:(Table.Left :: List.init 9 (fun _ -> Table.Right))
+      ()
+  in
+  List.iter
+    (fun (arch, r) ->
+      Table.add_row tbl
+        (Arch.name arch
+         :: List.map
+              (fun c -> Table.icell r.Metrics.cores.(c).Metrics.finish)
+              [ 0; 1; 2; 3 ]
+         @ List.map
+             (fun c -> Table.xcell (Metrics.speedup_vs ~baseline:base r ~core:c))
+             [ 0; 1; 2; 3 ]
+         @ [ Table.pcell r.Metrics.simd_util ]))
+    results;
+  Table.print tbl;
+  let occamy = List.assoc Arch.Occamy results in
+  Fmt.pr
+    "@.Occamy performed %d lane repartitionings across the four cores.@."
+    occamy.Metrics.replans

@@ -1,0 +1,1 @@
+lib/compiler/abi.ml: Array Occamy_isa

@@ -1,0 +1,1 @@
+lib/compiler/abi.mli: Occamy_isa

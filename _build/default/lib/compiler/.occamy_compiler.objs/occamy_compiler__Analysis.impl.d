@@ -1,0 +1,1 @@
+lib/compiler/analysis.ml: Dag Fmt List Loop_ir Occamy_isa

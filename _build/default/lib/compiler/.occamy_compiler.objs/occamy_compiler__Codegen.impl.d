@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Abi Analysis Array Hashtbl List Loop_ir Occamy_core Occamy_isa Occamy_mem Vectorize

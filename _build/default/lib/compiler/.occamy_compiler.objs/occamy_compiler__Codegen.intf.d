@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Loop_ir Occamy_core

@@ -1,0 +1,1 @@
+lib/compiler/dag.ml: Array Hashtbl List Loop_ir Occamy_isa

@@ -1,0 +1,1 @@
+lib/compiler/dag.mli: Loop_ir Occamy_isa

@@ -1,0 +1,1 @@
+lib/compiler/loop_ir.ml: Fmt Hashtbl List Occamy_isa Occamy_mem Printf Stdlib

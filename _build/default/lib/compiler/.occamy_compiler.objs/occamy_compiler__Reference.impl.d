@@ -1,0 +1,1 @@
+lib/compiler/reference.ml: Array Hashtbl List Loop_ir Occamy_isa Vectorize

@@ -1,0 +1,1 @@
+lib/compiler/reference.mli: Loop_ir

@@ -1,0 +1,1 @@
+lib/compiler/vectorize.ml: Abi Array Dag Fun List Loop_ir Occamy_isa Printf

@@ -1,0 +1,1 @@
+lib/compiler/vectorize.mli: Loop_ir Occamy_isa

@@ -1,0 +1,47 @@
+(** Register conventions used by the generated code (the compiler's ABI).
+
+    Scalar integer registers (Figure 9 uses X1-X4 for the EM-SIMD
+    handshake; we fix the full set):
+
+    - x0: element index [i]
+    - x1: loop bound [n]
+    - x2: current vector-length target (Figure 9's X2)
+    - x3: `<status>` scratch (X3)
+    - x4: `<decision>` scratch (X4)
+    - x5: active element count [k = min(vl*4, n-i)]
+    - x6: elements per full vector ([<ZCR>*4])
+    - x7: scratch (remaining count, version checks)
+    - x8: outer-loop counter (hoisting support)
+    - x9..x12: stencil address temporaries (i + offset)
+    - x13: scratch for reduction stores
+
+    Scalar FP registers:
+
+    - f0..f5: reduction carries (live across reconfigurations, §6.4)
+    - f6: reduction fold / broadcast scratch
+    - f7 upwards: scalar-variant temporaries (invariants are rematerialised). *)
+
+let xi = Occamy_isa.Reg.x 0
+let xn = Occamy_isa.Reg.x 1
+let xvl = Occamy_isa.Reg.x 2
+let xstatus = Occamy_isa.Reg.x 3
+let xdecision = Occamy_isa.Reg.x 4
+let xk = Occamy_isa.Reg.x 5
+let xelems = Occamy_isa.Reg.x 6
+let xtmp = Occamy_isa.Reg.x 7
+let xouter = Occamy_isa.Reg.x 8
+
+let addr_temps = [| 9; 10; 11; 12 |]
+let xaddr slot = Occamy_isa.Reg.x addr_temps.(slot)
+let max_addr_temps = Array.length addr_temps
+
+let xred = Occamy_isa.Reg.x 13
+
+let max_reduction_carries = 6
+let fcarry i =
+  if i >= max_reduction_carries then
+    invalid_arg "Abi.fcarry: too many reductions in one loop";
+  Occamy_isa.Reg.f i
+
+let ffold = Occamy_isa.Reg.f 6
+let first_temp_freg = 7

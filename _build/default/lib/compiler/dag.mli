@@ -1,0 +1,27 @@
+(** Hash-consed expression DAG over a loop body: identical subexpressions
+    (including repeated loads) are shared — simultaneously the compiler's
+    CSE pass and the "with data reuse considered" part of the Equation-5
+    analysis. The vectorizer and the analysis consume the same DAG so
+    they agree on instruction counts. *)
+
+type node =
+  | Nload of Loop_ir.array_ref
+  | Nconst of float
+  | Nparam of string * float
+  | Nop of Occamy_isa.Vop.t * int list  (** operand node ids *)
+
+type t = {
+  nodes : node array;  (** topologically ordered *)
+  stores : (Loop_ir.array_ref * int) list;
+  reduces : (Occamy_isa.Vop.Red.t * string * int) list;
+}
+
+val build : Loop_ir.stmt list -> t
+val num_nodes : t -> int
+val count_ops : t -> int
+val count_loads : t -> int
+val count_flops : t -> int
+val params : t -> (string * float) list
+
+val last_uses : t -> int array
+(** Per node, the position of its last use (for register reuse). *)

@@ -1,0 +1,56 @@
+(** Scalar reference semantics for the loop IR.
+
+    This is the ground truth the §6.4 correctness property is tested
+    against: executing a compiled workload (through the functional ISA
+    interpreter, under *any* schedule of vector-length reconfigurations)
+    must leave memory in the same state as this direct evaluation of the
+    loop nest. *)
+
+let rec eval_expr ~mem ~i (e : Loop_ir.expr) =
+  match e with
+  | Loop_ir.Load { base; offset } ->
+    let arr = mem base in
+    arr.(i + offset)
+  | Loop_ir.Const v -> v
+  | Loop_ir.Param (_, v) -> v
+  | Loop_ir.Op (op, args) ->
+    Occamy_isa.Vop.apply op
+      (Array.of_list (List.map (eval_expr ~mem ~i) args))
+
+(** Run one loop (all its [outer_reps]) against [mem : name -> array],
+    mutating stored arrays and writing each reduction's final value into
+    its one-element output array. *)
+let run_loop ~mem (l : Loop_ir.t) =
+  let lo = max 0 (-Loop_ir.min_offset l) in
+  let n = lo + l.Loop_ir.trip_count in
+  for _rep = 1 to l.Loop_ir.outer_reps do
+    let accs = Hashtbl.create 4 in
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Loop_ir.Reduce (op, name, _) ->
+          Hashtbl.replace accs name (Occamy_isa.Vop.Red.identity op)
+        | Loop_ir.Store _ -> ())
+      l.Loop_ir.body;
+    for i = lo to n - 1 do
+      List.iter
+        (fun stmt ->
+          match stmt with
+          | Loop_ir.Store ({ base; offset }, e) ->
+            let arr = mem base in
+            arr.(i + offset) <- eval_expr ~mem ~i e
+          | Loop_ir.Reduce (op, name, e) ->
+            let v = eval_expr ~mem ~i e in
+            Hashtbl.replace accs name
+              (Occamy_isa.Vop.Red.combine op (Hashtbl.find accs name) v))
+        l.Loop_ir.body
+    done;
+    Hashtbl.iter
+      (fun name v ->
+        let out = mem (Vectorize.reduction_out_array name) in
+        out.(0) <- v)
+      accs
+  done
+
+(** Run a whole workload (list of loops, in phase order). *)
+let run ~mem loops = List.iter (run_loop ~mem) loops

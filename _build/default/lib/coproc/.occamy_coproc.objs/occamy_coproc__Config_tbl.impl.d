@@ -1,0 +1,1 @@
+lib/coproc/config_tbl.ml: Array Fmt Printf

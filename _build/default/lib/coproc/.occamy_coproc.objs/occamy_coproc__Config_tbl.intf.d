@@ -1,0 +1,1 @@
+lib/coproc/config_tbl.mli: Format

@@ -1,0 +1,1 @@
+lib/coproc/exebu.mli:

@@ -1,0 +1,1 @@
+lib/coproc/freelist.mli:

@@ -1,0 +1,1 @@
+lib/coproc/lsu.ml: List

@@ -1,0 +1,1 @@
+lib/coproc/ordering.ml: Occamy_isa

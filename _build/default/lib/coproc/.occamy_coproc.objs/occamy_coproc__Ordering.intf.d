@@ -1,0 +1,1 @@
+lib/coproc/ordering.mli: Occamy_isa

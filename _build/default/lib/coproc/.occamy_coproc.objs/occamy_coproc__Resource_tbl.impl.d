@@ -1,0 +1,1 @@
+lib/coproc/resource_tbl.ml: Array Fmt Occamy_isa

@@ -1,0 +1,1 @@
+lib/coproc/resource_tbl.mli: Format Occamy_isa

@@ -1,0 +1,86 @@
+(** Ownership configuration tables, the two [ConfigTbl]s of §4.2.1.
+
+    One instance records which core owns each ExeBU ([Dispatcher.Cfg]),
+    another which core owns each RegBlk ([RegFile.Cfg]). Each entry ranges
+    over {free, core0, core1, ...}. Because every ExeBU is wired to a
+    distinct RegBlk and "both are always assigned to the same scalar core
+    together", the simulator keeps the two tables in lock-step; the type
+    is shared.
+
+    Invariant (tested): no unit is owned by two cores, and the per-core
+    counts always match the resource table's `<VL>` values. *)
+
+type owner = Free | Core of int
+
+type t = { name : string; owners : owner array }
+
+let create ~name ~units =
+  if units <= 0 then invalid_arg "Config_tbl.create";
+  { name; owners = Array.make units Free }
+
+let units t = Array.length t.owners
+
+let owner t u =
+  if u < 0 || u >= units t then invalid_arg "Config_tbl.owner";
+  t.owners.(u)
+
+let owned_by t ~core =
+  let acc = ref [] in
+  for u = units t - 1 downto 0 do
+    if t.owners.(u) = Core core then acc := u :: !acc
+  done;
+  !acc
+
+let count_owned t ~core =
+  Array.fold_left
+    (fun n o -> if o = Core core then n + 1 else n)
+    0 t.owners
+
+let count_free t =
+  Array.fold_left (fun n o -> if o = Free then n + 1 else n) 0 t.owners
+
+(** Reconfigure core [core] to own exactly [count] units: free everything
+    it held, then claim [count] free units (lowest indices first, matching
+    the deterministic hardware allocator). Raises if not enough units are
+    free — the resource table must have granted the request first. *)
+let reassign t ~core ~count =
+  if count < 0 then invalid_arg "Config_tbl.reassign: negative count";
+  Array.iteri
+    (fun u o -> if o = Core core then t.owners.(u) <- Free)
+    t.owners;
+  if count_free t < count then
+    invalid_arg
+      (Printf.sprintf "Config_tbl.reassign(%s): %d units requested, %d free"
+         t.name count (count_free t));
+  let remaining = ref count in
+  Array.iteri
+    (fun u o ->
+      if !remaining > 0 && o = Free then begin
+        t.owners.(u) <- Core core;
+        decr remaining
+      end)
+    t.owners;
+  assert (!remaining = 0)
+
+let release_all t ~core = reassign t ~core ~count:0
+
+(** No unit owned twice is structural; check per-core counts against an
+    expected vector (the resource table's `<VL>` column). *)
+let consistent_with t expected_counts =
+  let cores = Array.length expected_counts in
+  let ok = ref true in
+  for c = 0 to cores - 1 do
+    if count_owned t ~core:c <> expected_counts.(c) then ok := false
+  done;
+  !ok
+
+let pp ppf t =
+  Fmt.pf ppf "%s[" t.name;
+  Array.iteri
+    (fun u o ->
+      if u > 0 then Fmt.string ppf " ";
+      match o with
+      | Free -> Fmt.pf ppf "%d:free" u
+      | Core c -> Fmt.pf ppf "%d:c%d" u c)
+    t.owners;
+  Fmt.string ppf "]"

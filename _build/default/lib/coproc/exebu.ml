@@ -1,0 +1,56 @@
+(** The pool of homogeneous basic execution units ([ExeBU]s, §4.2.1).
+
+    Each ExeBU executes 128-bit SIMD µops on [pipes_per_unit] pipelined
+    execution pipes, so it accepts up to [pipes_per_unit] µops per cycle.
+    A vector compute instruction of width [vl] granules dispatches [vl]
+    identical µops, one per owned ExeBU (Figure 6(b)).
+
+    The pool tracks per-unit µop counts for the busy-lane utilisation
+    metric of §2 and per-cycle slot occupancy for the dispatcher. *)
+
+type t = {
+  units : int;
+  pipes_per_unit : int;
+  slots : int array;          (* µops accepted in the current cycle *)
+  uops : int array;           (* cumulative µops per unit *)
+  mutable current_cycle : int;
+}
+
+let create ~units ~pipes_per_unit =
+  if units <= 0 || pipes_per_unit <= 0 then invalid_arg "Exebu.create";
+  {
+    units;
+    pipes_per_unit;
+    slots = Array.make units 0;
+    uops = Array.make units 0;
+    current_cycle = -1;
+  }
+
+let units t = t.units
+let pipes_per_unit t = t.pipes_per_unit
+
+let begin_cycle t ~cycle =
+  if cycle <> t.current_cycle then begin
+    Array.fill t.slots 0 t.units 0;
+    t.current_cycle <- cycle
+  end
+
+(** Can [unit_ids] each accept one more µop this cycle? *)
+let can_issue t ~unit_ids =
+  List.for_all
+    (fun u ->
+      if u < 0 || u >= t.units then invalid_arg "Exebu.can_issue";
+      t.slots.(u) < t.pipes_per_unit)
+    unit_ids
+
+(** Book one µop on each of [unit_ids] for the current cycle. *)
+let issue t ~unit_ids =
+  if not (can_issue t ~unit_ids) then invalid_arg "Exebu.issue: no slot free";
+  List.iter
+    (fun u ->
+      t.slots.(u) <- t.slots.(u) + 1;
+      t.uops.(u) <- t.uops.(u) + 1)
+    unit_ids
+
+let uops_executed t = Array.fold_left ( + ) 0 t.uops
+let uops_of_unit t u = t.uops.(u)

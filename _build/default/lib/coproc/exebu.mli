@@ -1,0 +1,18 @@
+(** The pool of homogeneous basic execution units ([ExeBU]s, §4.2.1), each
+    accepting [pipes_per_unit] 128-bit µops per cycle. A vector compute
+    instruction of width [vl] granules dispatches one µop to each of its
+    core's [vl] ExeBUs (Figure 6(b)). *)
+
+type t
+
+val create : units:int -> pipes_per_unit:int -> t
+val units : t -> int
+val pipes_per_unit : t -> int
+
+val begin_cycle : t -> cycle:int -> unit
+(** Reset the per-cycle slot counters (idempotent per cycle). *)
+
+val can_issue : t -> unit_ids:int list -> bool
+val issue : t -> unit_ids:int list -> unit
+val uops_executed : t -> int
+val uops_of_unit : t -> int -> int

@@ -1,0 +1,22 @@
+(** Physical-register-row freelist for the renamer.
+
+    Spatial sharing gives each core an independent freelist over its own
+    RegBlks (capacity [depth - pinned]); temporal sharing (FTS) makes all
+    cores share one full-width freelist with every core's architectural
+    state pinned — the register pressure behind Figure 13. *)
+
+type t
+
+val create : name:string -> depth:int -> pinned:int -> t
+val capacity : t -> int
+val in_use : t -> int
+val free : t -> int
+val name : t -> string
+
+val alloc : t -> bool
+(** [false] = rename stall this cycle (counted). *)
+
+val release : t -> unit
+val release_all : t -> unit
+val failed_allocs : t -> int
+val peak_in_use : t -> int

@@ -1,0 +1,46 @@
+(** Per-core load/store unit.
+
+    Holds the in-flight vector memory operations (the paper's LHQ/LMQ/STQ
+    collapsed into one occupancy-limited queue per direction) and retires
+    them when the memory hierarchy signals completion. Occupancy limits
+    bound the memory-level parallelism a core can extract, which, together
+    with the hierarchy's bandwidth channels, determines whether a phase is
+    latency-, bandwidth- or issue-bound. *)
+
+type entry = { done_at : int; is_store : bool; mob_id : int option }
+
+type t = {
+  load_capacity : int;
+  store_capacity : int;
+  mutable loads : entry list;
+  mutable stores : entry list;
+  mutable total_issued : int;
+}
+
+let create ?(load_capacity = 48) ?(store_capacity = 24) () =
+  { load_capacity; store_capacity; loads = []; stores = []; total_issued = 0 }
+
+let can_accept t ~is_store =
+  if is_store then List.length t.stores < t.store_capacity
+  else List.length t.loads < t.load_capacity
+
+let add t ~done_at ~is_store ~mob_id =
+  if not (can_accept t ~is_store) then invalid_arg "Lsu.add: queue full";
+  let e = { done_at; is_store; mob_id } in
+  if is_store then t.stores <- e :: t.stores else t.loads <- e :: t.loads;
+  t.total_issued <- t.total_issued + 1
+
+(** Remove completed entries; returns the MOB ids to deallocate. *)
+let retire t ~now =
+  let split l = List.partition (fun e -> e.done_at <= now) l in
+  let done_l, loads = split t.loads in
+  let done_s, stores = split t.stores in
+  t.loads <- loads;
+  t.stores <- stores;
+  List.filter_map (fun e -> e.mob_id) (done_l @ done_s)
+
+let outstanding t = List.length t.loads + List.length t.stores
+let outstanding_loads t = List.length t.loads
+let outstanding_stores t = List.length t.stores
+let total_issued t = t.total_issued
+let is_drained t = t.loads = [] && t.stores = []

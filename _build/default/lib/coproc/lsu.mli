@@ -1,0 +1,20 @@
+(** Per-core load/store unit: occupancy-limited queues of in-flight vector
+    memory operations, retired on memory-system completion. Occupancy
+    bounds the memory-level parallelism a core can extract. *)
+
+type t
+
+val create : ?load_capacity:int -> ?store_capacity:int -> unit -> t
+val can_accept : t -> is_store:bool -> bool
+val add : t -> done_at:int -> is_store:bool -> mob_id:int option -> unit
+
+val retire : t -> now:int -> int list
+(** Remove completed entries; returns their MOB ids to deallocate. *)
+
+val outstanding : t -> int
+val outstanding_loads : t -> int
+val outstanding_stores : t -> int
+val total_issued : t -> int
+
+val is_drained : t -> bool
+(** No in-flight memory operations — part of the §4.2.2 drain condition. *)

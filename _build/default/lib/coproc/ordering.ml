@@ -1,0 +1,50 @@
+(** Instruction-ordering policy matrix — Table 2 of the paper.
+
+    For every ⟨older, younger⟩ class pair, record which agent maintains
+    ordering and by what mechanism. The simulator's behaviour is checked
+    against this table in the test suite (e.g. `<VL>` changes only after
+    the per-core SIMD pipeline drains; EM-SIMD instructions execute in
+    order; younger scalars wait for older SVE write-backs). *)
+
+type agent = Scalar_cores | Occamy_hardware | Occamy_compiler
+
+type mechanism =
+  | Standard
+      (** conventional in-core dependence/ordering machinery *)
+  | Delay_transmit
+      (** delay transmitting the younger instruction to Occamy until
+          scalar operands are ready / the scalar access completed *)
+  | Delay_issue
+      (** delay issuing the younger scalar instruction until the SVE /
+          EM-SIMD instruction writes back or completes its access *)
+  | Vl_after_drain
+      (** `<VL>` changes only after the corresponding SIMD pipeline is
+          drained *)
+  | Em_simd_in_order
+      (** EM-SIMD instructions execute in order on the EM-SIMD data path *)
+  | Retry_until_success
+      (** the compiler wraps `MSR <VL>` in a `<status>`-spin loop *)
+
+let policy ~older ~younger =
+  let open Occamy_isa.Instr in
+  match older, younger with
+  | Scalar, Scalar -> (Scalar_cores, Standard)
+  | Scalar, (Sve | Em_simd) -> (Scalar_cores, Delay_transmit)
+  | (Sve | Em_simd), Scalar -> (Scalar_cores, Delay_issue)
+  | Sve, Sve -> (Occamy_hardware, Standard)
+  | Sve, Em_simd -> (Occamy_hardware, Vl_after_drain)
+  | Em_simd, Sve -> (Occamy_compiler, Retry_until_success)
+  | Em_simd, Em_simd -> (Occamy_hardware, Em_simd_in_order)
+
+let agent_name = function
+  | Scalar_cores -> "scalar cores"
+  | Occamy_hardware -> "Occamy hardware"
+  | Occamy_compiler -> "Occamy compiler"
+
+let mechanism_name = function
+  | Standard -> "standard"
+  | Delay_transmit -> "delay transmitting younger inst to Occamy"
+  | Delay_issue -> "delay issuing younger scalar inst"
+  | Vl_after_drain -> "<VL> changes after the SIMD pipeline is drained"
+  | Em_simd_in_order -> "execute EM-SIMD insts in order"
+  | Retry_until_success -> "repeatedly write <VL> until success"

@@ -1,0 +1,20 @@
+(** The instruction-ordering policy matrix of Table 2: for every
+    ⟨older, younger⟩ class pair, which agent maintains ordering and by
+    what mechanism. The simulator's behaviour is tested against it. *)
+
+type agent = Scalar_cores | Occamy_hardware | Occamy_compiler
+
+type mechanism =
+  | Standard
+  | Delay_transmit
+  | Delay_issue
+  | Vl_after_drain
+  | Em_simd_in_order
+  | Retry_until_success
+
+val policy :
+  older:Occamy_isa.Instr.cls -> younger:Occamy_isa.Instr.cls ->
+  agent * mechanism
+
+val agent_name : agent -> string
+val mechanism_name : mechanism -> string

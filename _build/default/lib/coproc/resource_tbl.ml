@@ -1,0 +1,86 @@
+(** The on-chip resource table, [ResourceTbl] in Figures 3 and 5.
+
+    It holds (4*C + 1) registers: per core the four dedicated registers
+    `<OI>`, `<decision>`, `<VL>`, `<status>`, plus the shared `<AL>`.
+
+    The table is the arbiter for vector-length reconfiguration: a
+    `MSR <VL>, l` from core [c] succeeds iff [c.<VL> + <AL> >= l]
+    (§4.2.2, condition (1); the pipeline-drain condition (2) is checked by
+    the simulator before calling [try_set_vl]). On success the registers
+    update atomically and the invariant [<AL> + sum of <VL>s = total]
+    holds; this invariant is property-tested against arbitrary operation
+    sequences. *)
+
+type t = {
+  total : int;  (* ExeBUs managed by the table *)
+  cores : int;
+  vl : int array;
+  status : int array;
+  decision : int array;
+  oi : Occamy_isa.Oi.t array;
+  mutable al : int;
+}
+
+let create ~total ~cores =
+  if total <= 0 || cores <= 0 then invalid_arg "Resource_tbl.create";
+  {
+    total;
+    cores;
+    vl = Array.make cores 0;
+    status = Array.make cores 0;
+    decision = Array.make cores 0;
+    oi = Array.make cores Occamy_isa.Oi.zero;
+    al = total;
+  }
+
+let check_core t core =
+  if core < 0 || core >= t.cores then invalid_arg "Resource_tbl: bad core id"
+
+let vl t ~core = check_core t core; t.vl.(core)
+let status t ~core = check_core t core; t.status.(core)
+let decision t ~core = check_core t core; t.decision.(core)
+let oi t ~core = check_core t core; t.oi.(core)
+let al t = t.al
+let total t = t.total
+let cores t = t.cores
+
+let set_decision t ~core d =
+  check_core t core;
+  if d < 0 || d > t.total then invalid_arg "Resource_tbl.set_decision";
+  t.decision.(core) <- d
+
+let set_oi t ~core v = check_core t core; t.oi.(core) <- v
+
+(** Attempt the atomic update of §4.2.2. Returns [true] (and sets
+    `<status>` to 1) when the requested number of lanes was available;
+    [false] (status 0) otherwise. [l = 0] releases all lanes and always
+    succeeds. *)
+let try_set_vl t ~core l =
+  check_core t core;
+  if l < 0 || l > t.total then invalid_arg "Resource_tbl.try_set_vl: bad length";
+  if t.vl.(core) + t.al >= l then begin
+    t.al <- t.vl.(core) + t.al - l;
+    t.vl.(core) <- l;
+    t.status.(core) <- 1;
+    true
+  end
+  else begin
+    t.status.(core) <- 0;
+    false
+  end
+
+(** The conservation invariant: free lanes plus allocated lanes equal the
+    machine's total. *)
+let invariant_holds t =
+  t.al >= 0
+  && Array.for_all (fun v -> v >= 0) t.vl
+  && t.al + Array.fold_left ( + ) 0 t.vl = t.total
+
+let pp ppf t =
+  Fmt.pf ppf "ResourceTbl{AL=%d;" t.al;
+  Array.iteri
+    (fun c v ->
+      Fmt.pf ppf " core%d:<VL>=%d,<decision>=%d,<status>=%d,<OI>=%a;" c v
+        t.decision.(c) t.status.(c) Occamy_isa.Oi.pp t.oi.(c))
+    t.vl;
+  Fmt.pf ppf "}"

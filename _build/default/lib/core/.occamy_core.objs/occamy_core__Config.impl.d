@@ -1,0 +1,1 @@
+lib/core/config.ml: Occamy_isa Occamy_lanemgr Occamy_mem Printf

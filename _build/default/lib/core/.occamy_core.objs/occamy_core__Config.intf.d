@@ -1,0 +1,1 @@
+lib/core/config.mli: Occamy_lanemgr Occamy_mem

@@ -1,0 +1,1 @@
+lib/core/sim.ml: Arch Array Config Fun List Logs Metrics Occamy_coproc Occamy_isa Occamy_lanemgr Occamy_mem Occamy_util Option Printf Queue String Workload

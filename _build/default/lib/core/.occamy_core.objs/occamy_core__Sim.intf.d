@@ -1,0 +1,1 @@
+lib/core/sim.mli: Arch Config Metrics Workload

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Fmt List Occamy_isa Occamy_mem Printf

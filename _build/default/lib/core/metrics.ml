@@ -1,0 +1,89 @@
+(** Result records produced by a simulation run, covering every quantity
+    the paper's evaluation reports: per-core finish times and speedups
+    (Figure 10), SIMD utilization (Figure 11, computed as in §2), per-phase
+    SIMD issue rates (Figures 2(f), 14(c)), rename-stall fractions
+    (Figure 13), EM-SIMD runtime overhead (Figure 15), and per-bucket
+    timelines (Figures 2(b-e), 14(b)). *)
+
+type phase_stat = {
+  ps_name : string;
+  ps_start : int;
+  ps_end : int;            (* cycle of the phase epilogue *)
+  ps_issued_compute : int;
+  ps_issued_mem : int;
+  ps_rename_stalls : int;  (* cycles stalled for free registers (Fig 14(c)) *)
+  ps_avg_vl : float;       (* average granules held during the phase *)
+}
+
+let ps_cycles p = max 1 (p.ps_end - p.ps_start)
+
+(** SIMD compute instructions issued per cycle during the phase. *)
+let ps_issue_rate p = float_of_int p.ps_issued_compute /. float_of_int (ps_cycles p)
+
+type core_result = {
+  core : int;
+  workload : string;
+  finish : int;            (* cycle the workload's Halt executed *)
+  issued_compute : int;
+  issued_mem : int;
+  rename_stall_cycles : int;
+  reconfig_blocked_cycles : int;  (* cycles blocked on MSR <VL> (drain+retry) *)
+  monitor_instrs : int;           (* lazy-partition monitor instructions *)
+  monitor_stall_cycles : int;     (* cycles where monitoring consumed the
+                                     last front-end slot (marginal cost) *)
+  reconfigs : int;                (* successful <VL> changes *)
+  failed_vl_requests : int;
+  phases : phase_stat list;
+  lanes_timeline : float array;   (* avg busy f32 lanes per bucket *)
+  vl_timeline : float array;      (* avg granules held per bucket *)
+}
+
+type t = {
+  arch : Arch.t;
+  total_cycles : int;             (* last core's finish *)
+  simd_util : float;              (* Eq. of §2 over the whole execution *)
+  busy_lane_cycles : float;       (* numerator of simd_util, lane-cycles *)
+  replans : int;                  (* eager lane-partitioning events *)
+  cores : core_result array;
+  bucket_width : int;
+}
+
+let core_finish t c = t.cores.(c).finish
+
+(** Speedup of [t] relative to [baseline] on core [c] — the Figure 10
+    metric (baseline time / this time, per core). *)
+let speedup_vs ~baseline t ~core =
+  float_of_int (core_finish baseline core) /. float_of_int (core_finish t core)
+
+(** Fraction of cycles core [c] spent stalled in the renamer waiting for
+    free physical registers (Figure 13). *)
+let rename_stall_fraction t ~core =
+  float_of_int t.cores.(core).rename_stall_cycles
+  /. float_of_int (max 1 t.cores.(core).finish)
+
+(** EM-SIMD runtime overhead split (Figure 15), as fractions of the
+    workload's execution time: monitoring (decision reads at iteration
+    heads, estimated by front-end slot occupancy) and vector-length
+    reconfiguration (drain + retry cycles). *)
+let overhead t ~frontend_width ~core =
+  let c = t.cores.(core) in
+  let time = float_of_int (max 1 c.finish) in
+  (* Monitoring: `<decision>` reads are speculatively transmitted
+     (§4.1.1), so in the simulator their marginal cost is near zero (the
+     scalar front-end has slack); we report the conservative upper bound
+     of one front-end slot per executed monitor instruction. *)
+  let monitoring =
+    float_of_int c.monitor_instrs /. float_of_int frontend_width /. time
+  in
+  let reconfig = float_of_int c.reconfig_blocked_cycles /. time in
+  (monitoring, reconfig)
+
+let pp_summary ppf t =
+  Fmt.pf ppf "%a: %d cycles, util %.1f%%, %d replans@." Arch.pp t.arch
+    t.total_cycles (100.0 *. t.simd_util) t.replans;
+  Array.iter
+    (fun c ->
+      Fmt.pf ppf "  core%d %-14s finish=%-8d issue=%d/%d stall=%d reconf=%d@."
+        c.core c.workload c.finish c.issued_compute c.issued_mem
+        c.rename_stall_cycles c.reconfigs)
+    t.cores

@@ -1,0 +1,58 @@
+(** Results of a simulation run — every quantity the paper's evaluation
+    reports: finish times and speedups (Fig 10), SIMD utilization (Fig 11,
+    computed as in §2), per-phase issue rates (Figs 2(f), 14(c)),
+    rename-stall fractions (Fig 13), EM-SIMD overhead (Fig 15), and
+    per-1000-cycle timelines (Figs 2(b-e), 14(b)). *)
+
+type phase_stat = {
+  ps_name : string;
+  ps_start : int;
+  ps_end : int;
+  ps_issued_compute : int;
+  ps_issued_mem : int;
+  ps_rename_stalls : int;
+  ps_avg_vl : float;  (** average granules held during the phase *)
+}
+
+val ps_cycles : phase_stat -> int
+val ps_issue_rate : phase_stat -> float
+(** SIMD compute instructions issued per cycle (the paper's metric). *)
+
+type core_result = {
+  core : int;
+  workload : string;
+  finish : int;
+  issued_compute : int;
+  issued_mem : int;
+  rename_stall_cycles : int;
+  reconfig_blocked_cycles : int;
+  monitor_instrs : int;
+  monitor_stall_cycles : int;
+  reconfigs : int;
+  failed_vl_requests : int;
+  phases : phase_stat list;
+  lanes_timeline : float array;  (** avg busy lanes per 1000-cycle bucket *)
+  vl_timeline : float array;     (** avg granules held per bucket *)
+}
+
+type t = {
+  arch : Arch.t;
+  total_cycles : int;
+  simd_util : float;         (** the §2 busy-lane fraction *)
+  busy_lane_cycles : float;
+  replans : int;             (** eager lane-partitioning events *)
+  cores : core_result array;
+  bucket_width : int;
+}
+
+val core_finish : t -> int -> int
+val speedup_vs : baseline:t -> t -> core:int -> float
+val rename_stall_fraction : t -> core:int -> float
+
+val overhead : t -> frontend_width:int -> core:int -> float * float
+(** (monitoring, reconfiguration) overhead as fractions of the core's
+    execution time. Monitoring is a conservative upper bound of one
+    front-end slot per `<decision>` read (the reads are speculative,
+    §4.1.1); reconfiguration counts drain + retry cycles. *)
+
+val pp_summary : Format.formatter -> t -> unit

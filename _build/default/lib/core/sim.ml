@@ -1,0 +1,1030 @@
+(** The cycle-level timing simulator — the gem5 substitute.
+
+    It executes one compiled workload per scalar core against one of the
+    four SIMD architectures (see {!Arch}), modelling the machine of
+    Figures 4 and 5:
+
+    - a decoupled scalar front-end per core that executes scalar
+      instructions, resolves branches, and transmits non-speculative
+      SVE/EM-SIMD instructions in order to the co-processor (§4.1.1);
+    - per-core instruction pools, an in-order renamer drawing physical
+      register rows from per-core (spatial) or shared (temporal)
+      freelists, and an out-of-order issue window;
+    - issue ports per data path: [compute_ports] SIMD compute and
+      [mem_ports] SIMD ld/st instructions per cycle — per core under
+      spatial sharing, shared by all cores under FTS;
+    - a bandwidth-limited VecCache/L2/DRAM hierarchy with a MOB;
+    - the ResourceTbl/ConfigTbl/LaneMgr elastic reconfiguration machinery:
+      `MSR <VL>` succeeds only when lanes are available *and* the core's
+      SIMD pipeline has drained (§4.2.2); `MSR <OI>` triggers eager
+      replanning on Occamy (§5).
+
+    Scalar-visible register *values* are tracked exactly (loop control
+    must be faithful); vector data is not — the functional interpreter
+    ({!Occamy_isa.Interp}) covers value semantics. *)
+
+module Instr = Occamy_isa.Instr
+module Reg = Occamy_isa.Reg
+module Vop = Occamy_isa.Vop
+module Sysreg = Occamy_isa.Sysreg
+module Oi = Occamy_isa.Oi
+module Lane = Occamy_isa.Lane
+module Program = Occamy_isa.Program
+module Profile = Occamy_mem.Profile
+module Hierarchy = Occamy_mem.Hierarchy
+module Mob = Occamy_mem.Mob
+module Rtbl = Occamy_coproc.Resource_tbl
+module Config_tbl = Occamy_coproc.Config_tbl
+module Freelist = Occamy_coproc.Freelist
+module Lsu = Occamy_coproc.Lsu
+module Exebu = Occamy_coproc.Exebu
+module Lane_mgr = Occamy_lanemgr.Lane_mgr
+module Rng = Occamy_util.Rng
+module Buckets = Occamy_util.Stats.Buckets
+
+(* ------------------------------------------------------------------ *)
+(* In-flight instruction representation                                *)
+(* ------------------------------------------------------------------ *)
+
+type wkind = Kcompute of Vop.t | Kdup | Kload | Kstore
+
+type wentry = {
+  kind : wkind;
+  width : int;  (* granules captured at rename *)
+  arr : int;
+  base : int;
+  elems : int;
+  srcs : wentry list;  (* producers this entry waits on *)
+  has_row : bool;      (* holds a physical register row until commit *)
+  mutable issued : bool;
+  mutable done_at : int;
+  mutable mob_id : int option;
+}
+
+(* Pool entries: transmitted SVE instructions with scalar operands
+   resolved at transmit time (address generation happens in the scalar
+   core, §4.1.2). *)
+type pentry =
+  | Pload of { dst : int; arr : int; base : int; elems : int }
+  | Pstore of { src : int; arr : int; base : int; elems : int }
+  | Pcompute of { op : Vop.t; dst : int; srcs : int list }
+  | Pdup of { dst : int }
+
+(* Per-core, per-phase statistics accumulator. *)
+type phase_acc = {
+  pa_name : string;
+  pa_start : int;
+  mutable pa_compute : int;
+  mutable pa_mem : int;
+  mutable pa_vl_sum : int;
+  mutable pa_cycles : int;
+  mutable pa_stalls : int;
+}
+
+(* OS scheduling state of a core's task (§5): the OS drains the pipelines
+   (including Occamy's), saves the five EM-SIMD dedicated registers,
+   releases the lanes, and on restore rewrites <OI> to retrigger lane
+   partitioning before the task reacquires a vector length. *)
+type cs_state =
+  | Cs_running
+  | Cs_draining
+  | Cs_away of { resume_at : int; saved_vl : int; saved_oi : Oi.t }
+  | Cs_restoring of { saved_vl : int }
+
+type core_state = {
+  id : int;
+  wl : Workload.t;
+  phase_lookup : int -> Workload.phase option;
+  (* front-end *)
+  mutable pc : int;
+  xregs : int array;
+  fregs : float array;
+  mutable halted : bool;
+  mutable finish : int;
+  mutable pending_vl : int option;  (* blocked MSR <VL> awaiting drain *)
+  mutable pending_red : bool;       (* blocked Vred awaiting drain *)
+  mutable cs_state : cs_state;
+  mutable cs_schedule : int list;   (* preemption cycles, ascending *)
+  mutable cur_level : Occamy_mem.Level.t;  (* current phase's footprint *)
+  (* co-processor side *)
+  pool : pentry Occamy_util.Bounded_queue.t;
+  rob : wentry Queue.t;
+  vmap : wentry option array;  (* arch vreg -> last producer *)
+  freelist : Freelist.t;       (* per-core or shared, per architecture *)
+  lsu : Lsu.t;
+  mutable vl : int;            (* granules currently held *)
+  (* statistics *)
+  mutable issued_compute : int;
+  mutable issued_mem : int;
+  mutable rename_stalls : int;
+  mutable blocked_vl_cycles : int;
+  mutable monitor_instrs : int;
+  mutable monitor_stall_cycles : int;
+      (* cycles whose front-end budget ran out while it also executed a
+         partition-monitor read: the monitor's *marginal* cost — decision
+         reads are speculative (§4.1.1) and otherwise hidden *)
+  mutable reconfigs : int;
+  mutable failed_vl : int;
+  mutable phase_index : int;   (* counts non-zero OI writes *)
+  mutable cur_phase : phase_acc option;
+  mutable done_phases : Metrics.phase_stat list;  (* reversed *)
+  lanes_buckets : Buckets.t;
+  vl_buckets : Buckets.t;
+}
+
+type t = {
+  cfg : Config.t;
+  arch : Arch.t;
+  cores : core_state array;
+  hierarchy : Hierarchy.t;
+  mob : Mob.t;
+  rtbl : Rtbl.t;
+  exebu_cfg : Config_tbl.t;   (* Dispatcher.Cfg *)
+  regblk_cfg : Config_tbl.t;  (* RegFile.Cfg *)
+  exebus : Exebu.t;
+  lane_mgr : Lane_mgr.t option;  (* Occamy only *)
+  rng : Rng.t;
+  mutable cycle : int;
+  mutable busy_lane_cycles : float;
+  mutable replans : int;
+  (* per-cycle issue budgets; for FTS index 0 is the shared domain *)
+  compute_budget : int array;
+  mem_budget : int array;
+  bucket_width : int;
+}
+
+let src = Logs.Src.create "occamy.sim" ~doc:"cycle-level simulator events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+exception Simulation_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Simulation_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_core cfg arch ~shared_freelist id wl =
+  let freelist =
+    match shared_freelist with
+    | Some fl -> fl
+    | None ->
+      Freelist.create
+        ~name:(Printf.sprintf "core%d" id)
+        ~depth:cfg.Config.regblk_depth ~pinned:cfg.Config.arch_vregs
+  in
+  ignore arch;
+  {
+    id;
+    wl;
+    phase_lookup = Workload.phase_of_oi_write wl;
+    pc = 0;
+    xregs = Array.make Reg.num_x 0;
+    fregs = Array.make Reg.num_f 0.0;
+    halted = false;
+    finish = 0;
+    pending_vl = None;
+    pending_red = false;
+    cs_state = Cs_running;
+    cs_schedule = [];
+    cur_level = Occamy_mem.Level.Vec_cache;
+    pool = Occamy_util.Bounded_queue.create ~capacity:cfg.Config.pool_capacity;
+    rob = Queue.create ();
+    vmap = Array.make Reg.num_v None;
+    freelist;
+    lsu =
+      Lsu.create ~load_capacity:cfg.Config.lsu_load_capacity
+        ~store_capacity:cfg.Config.lsu_store_capacity ();
+    vl = 0;
+    issued_compute = 0;
+    issued_mem = 0;
+    rename_stalls = 0;
+    blocked_vl_cycles = 0;
+    monitor_instrs = 0;
+    monitor_stall_cycles = 0;
+    reconfigs = 0;
+    failed_vl = 0;
+    phase_index = 0;
+    cur_phase = None;
+    done_phases = [];
+    lanes_buckets = Buckets.create ~width:1000;
+    vl_buckets = Buckets.create ~width:1000;
+  }
+
+let create ?(cfg = Config.default) ?decisions ?(context_switches = []) ~arch
+    workloads =
+  let cfg = Config.validate cfg in
+  let n = List.length workloads in
+  if n <> cfg.cores then
+    invalid_arg
+      (Printf.sprintf "Sim.create: %d workloads for %d cores" n cfg.cores);
+  let shared_freelist =
+    if Arch.splits_vrf arch then None
+    else
+      (* FTS: one full-width row space; every core's architectural state
+         pins rows in it (§7.3). *)
+      Some
+        (Freelist.create ~name:"shared" ~depth:cfg.regblk_depth
+           ~pinned:(cfg.arch_vregs * cfg.cores))
+  in
+  let cores =
+    Array.of_list
+      (List.mapi (fun i wl -> make_core cfg arch ~shared_freelist i wl) workloads)
+  in
+  let rtbl = Rtbl.create ~total:cfg.exebus ~cores:cfg.cores in
+  let lane_mgr =
+    match arch with
+    | Arch.Occamy ->
+      Some
+        (Lane_mgr.create ~cfg:(Config.roofline cfg) ~total:cfg.exebus
+           ~cores:cfg.cores ())
+    | Arch.Private | Arch.Fts | Arch.Vls -> None
+  in
+  (* Initial <decision> values per architecture. *)
+  (match arch with
+  | Arch.Private ->
+    Array.iter
+      (fun c ->
+        Rtbl.set_decision rtbl ~core:c.id (Config.granules_per_core_private cfg))
+      cores
+  | Arch.Fts ->
+    Array.iter (fun c -> Rtbl.set_decision rtbl ~core:c.id cfg.exebus) cores
+  | Arch.Vls ->
+    (* Static spatial sharing: one partition for the whole run, computed
+       from each workload's most lane-demanding phase (a static plan must
+       serve every phase, cf. the 12-lane WL20 allocation covering its
+       second phase in §7.4). Never replanned (Figure 1(c)). *)
+    let roofline = Config.roofline cfg in
+    let mgr =
+      Lane_mgr.create ~cfg:roofline ~total:cfg.exebus ~cores:cfg.cores ()
+    in
+    Array.iter
+      (fun c ->
+        let most_demanding =
+          List.fold_left
+            (fun acc (p : Workload.phase) ->
+              let sat p =
+                Occamy_lanemgr.Roofline.saturation_vl roofline
+                  ~max_vl:cfg.exebus ~oi:p.Workload.ph_oi
+                  ~level:p.Workload.ph_level
+              in
+              match acc with
+              | Some best when sat best >= sat p -> Some best
+              | _ -> Some p)
+            None c.wl.Workload.phases
+        in
+        match most_demanding with
+        | Some p ->
+          Lane_mgr.enter_phase mgr ~core:c.id ~oi:p.Workload.ph_oi
+            ~level:p.Workload.ph_level
+        | None -> ())
+      cores;
+    (* Leftover free lanes are spread round-robin: a static partition has
+       no reason to leave silicon idle. *)
+    let d = Lane_mgr.decisions mgr in
+    let leftover = ref (cfg.exebus - Array.fold_left ( + ) 0 d) in
+    let i = ref 0 in
+    while !leftover > 0 do
+      d.(!i mod cfg.cores) <- d.(!i mod cfg.cores) + 1;
+      decr leftover;
+      incr i
+    done;
+    Array.iteri (fun c vl -> Rtbl.set_decision rtbl ~core:c vl) d
+  | Arch.Occamy -> ());
+  (* Explicit static partition, e.g. for lane sweeps (Figure 14(a)). Only
+     meaningful for the static architectures. *)
+  (match decisions with
+  | Some d ->
+    if arch = Arch.Occamy then
+      invalid_arg "Sim.create: cannot force decisions on an elastic machine";
+    Array.iteri (fun c vl -> Rtbl.set_decision rtbl ~core:c vl) d
+  | None -> ());
+  List.iter
+    (fun (core, cycle) ->
+      if core < 0 || core >= cfg.cores || cycle <= 0 then
+        invalid_arg "Sim.create: bad context switch";
+      cores.(core).cs_schedule <-
+        List.sort compare (cycle :: cores.(core).cs_schedule))
+    context_switches;
+  let domains = if Arch.shares_issue_ports arch then 1 else cfg.cores in
+  {
+    cfg;
+    arch;
+    cores;
+    hierarchy = Hierarchy.create ~cfg:cfg.mem ();
+    mob = Mob.create ~capacity:cfg.mob_capacity ();
+    rtbl;
+    exebu_cfg = Config_tbl.create ~name:"Dispatch.Cfg" ~units:cfg.exebus;
+    regblk_cfg = Config_tbl.create ~name:"RegFile.Cfg" ~units:cfg.exebus;
+    exebus = Exebu.create ~units:cfg.exebus ~pipes_per_unit:cfg.pipes_per_exebu;
+    lane_mgr;
+    rng = Rng.create ~seed:cfg.seed;
+    cycle = 0;
+    busy_lane_cycles = 0.0;
+    replans = (match arch with Arch.Vls -> 1 | _ -> 0);
+    compute_budget = Array.make domains 0;
+    mem_budget = Array.make domains 0;
+    bucket_width = 1000;
+  }
+
+let domain t core = if Arch.shares_issue_ports t.arch then 0 else core
+
+(* ------------------------------------------------------------------ *)
+(* Drain / reconfiguration                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_drained c =
+  Occamy_util.Bounded_queue.is_empty c.pool
+  && Queue.is_empty c.rob
+  && Lsu.is_drained c.lsu
+
+(* Grant or refuse a pending MSR <VL>. Caller guarantees the drain. *)
+let resolve_vl_request t c l =
+  (match t.arch with
+  | Arch.Fts ->
+    (* Temporal sharing: every core always executes at full width; the
+       request degenerates to holding or releasing the co-processor. *)
+    c.vl <- (if l = 0 then 0 else t.cfg.exebus);
+    c.reconfigs <- c.reconfigs + 1
+  | Arch.Private | Arch.Vls | Arch.Occamy ->
+    if Rtbl.try_set_vl t.rtbl ~core:c.id l then begin
+      Config_tbl.reassign t.exebu_cfg ~core:c.id ~count:l;
+      Config_tbl.reassign t.regblk_cfg ~core:c.id ~count:l;
+      Log.debug (fun m ->
+          m "cycle %d: core%d reconfigured to %d granules" t.cycle c.id l);
+      c.vl <- l;
+      c.reconfigs <- c.reconfigs + 1
+    end
+    else c.failed_vl <- c.failed_vl + 1);
+  c.pending_vl <- None
+
+(* Status as read by MRS <status>: for FTS requests always succeed. *)
+let read_status t c =
+  match t.arch with Arch.Fts -> 1 | _ -> Rtbl.status t.rtbl ~core:c.id
+
+let read_decision t c = Rtbl.decision t.rtbl ~core:c.id
+
+let read_al t =
+  match t.arch with Arch.Fts -> t.cfg.exebus | _ -> Rtbl.al t.rtbl
+
+(* ------------------------------------------------------------------ *)
+(* Phase bookkeeping + lane manager triggers                           *)
+(* ------------------------------------------------------------------ *)
+
+let close_phase t c =
+  match c.cur_phase with
+  | None -> ()
+  | Some pa ->
+    let stat =
+      {
+        Metrics.ps_name = pa.pa_name;
+        ps_start = pa.pa_start;
+        ps_end = t.cycle;
+        ps_issued_compute = pa.pa_compute;
+        ps_issued_mem = pa.pa_mem;
+        ps_rename_stalls = pa.pa_stalls;
+        ps_avg_vl =
+          (if pa.pa_cycles = 0 then 0.0
+           else float_of_int pa.pa_vl_sum /. float_of_int pa.pa_cycles);
+      }
+    in
+    c.done_phases <- stat :: c.done_phases;
+    c.cur_phase <- None
+
+let handle_oi_write t c oi =
+  if Oi.is_zero oi then begin
+    close_phase t c;
+    (match t.lane_mgr with
+    | Some mgr ->
+      Lane_mgr.exit_phase mgr ~core:c.id;
+      Array.iteri
+        (fun core d -> Rtbl.set_decision t.rtbl ~core d)
+        (Lane_mgr.decisions mgr);
+      t.replans <- t.replans + 1
+    | None -> ());
+    Rtbl.set_oi t.rtbl ~core:c.id Oi.zero
+  end
+  else begin
+    let phase =
+      match c.phase_lookup c.phase_index with
+      | Some p -> p
+      | None ->
+        error "core%d: OI write #%d has no matching phase metadata" c.id
+          c.phase_index
+    in
+    c.phase_index <- c.phase_index + 1;
+    close_phase t c;
+    c.cur_level <- phase.Workload.ph_level;
+    c.cur_phase <-
+      Some
+        {
+          pa_name = phase.Workload.ph_name;
+          pa_start = t.cycle;
+          pa_compute = 0;
+          pa_mem = 0;
+          pa_vl_sum = 0;
+          pa_cycles = 0;
+          pa_stalls = 0;
+        };
+    Rtbl.set_oi t.rtbl ~core:c.id oi;
+    match t.lane_mgr with
+    | Some mgr ->
+      Lane_mgr.enter_phase mgr ~core:c.id ~oi ~level:phase.Workload.ph_level;
+      Array.iteri
+        (fun core d -> Rtbl.set_decision t.rtbl ~core d)
+        (Lane_mgr.decisions mgr);
+      Log.debug (fun m ->
+          m "cycle %d: core%d entered %s, new plan [%s]" t.cycle c.id
+            phase.Workload.ph_name
+            (String.concat ";"
+               (Array.to_list
+                  (Array.map string_of_int (Lane_mgr.decisions mgr)))));
+      t.replans <- t.replans + 1
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Front-end: scalar execution + transmit (§4.1.1)                     *)
+(* ------------------------------------------------------------------ *)
+
+let eval_src c = function
+  | Instr.Reg (Reg.X i) -> c.xregs.(i)
+  | Instr.Imm i -> i
+
+let cond_holds cond a b =
+  match cond with
+  | Instr.Eq -> a = b
+  | Instr.Ne -> a <> b
+  | Instr.Lt -> a < b
+  | Instr.Le -> a <= b
+  | Instr.Gt -> a > b
+  | Instr.Ge -> a >= b
+
+(* Transmit one SVE instruction into the pool; element counts and base
+   addresses are resolved here from the scalar registers. *)
+let transmit c instr =
+  let elems_of cnt =
+    match cnt with
+    | None -> Lane.elems_of_granules c.vl
+    | Some (Reg.X i) -> min c.xregs.(i) (Lane.elems_of_granules c.vl)
+  in
+  let pe =
+    match instr with
+    | Instr.Vload { dst; arr; idx = Reg.X xi; cnt } ->
+      Pload { dst = Reg.v_index dst; arr; base = c.xregs.(xi); elems = elems_of cnt }
+    | Instr.Vstore { src; arr; idx = Reg.X xi; cnt } ->
+      Pstore { src = Reg.v_index src; arr; base = c.xregs.(xi); elems = elems_of cnt }
+    | Instr.Vop { op; dst; srcs; cnt = _ } ->
+      Pcompute
+        { op; dst = Reg.v_index dst; srcs = List.map Reg.v_index srcs }
+    | Instr.Vdup (dst, _) -> Pdup { dst = Reg.v_index dst }
+    | _ -> error "transmit: not an SVE instruction"
+  in
+  Occamy_util.Bounded_queue.push c.pool pe
+
+let step_frontend t c =
+  if c.cs_state <> Cs_running then ()
+  else if c.halted then ()
+  else if c.pending_vl <> None then
+    c.blocked_vl_cycles <- c.blocked_vl_cycles + 1
+  else if c.pending_red then begin
+    (* Vred waits for the core's pipeline to drain (the reduction reads
+       the architectural vector state; Table 2 ⟨SVE, Scalar⟩). *)
+    if pipeline_drained c then c.pending_red <- false
+  end;
+  if
+    c.cs_state <> Cs_running || c.halted || c.pending_vl <> None
+    || c.pending_red
+  then ()
+  else begin
+    (* The 8-issue scalar core executes scalar instructions and, in
+       parallel, transmits up to [transmit_width] SVE/EM-SIMD instructions
+       per cycle to the co-processor (Figure 5); the two budgets are
+       independent. *)
+    let budget = ref t.cfg.frontend_width in
+    let transmit_budget = ref t.cfg.transmit_width in
+    let saw_monitor = ref false in
+    let continue_ = ref true in
+    let code = c.wl.Workload.program.Program.code in
+    let targets = c.wl.Workload.program.Program.targets in
+    while !continue_ && !budget > 0 && not c.halted do
+      if c.pc >= Array.length code then begin
+        c.halted <- true;
+        c.finish <- t.cycle
+      end
+      else begin
+        let instr = code.(c.pc) in
+        let next = ref (c.pc + 1) in
+        (match instr with
+        | Instr.Li (Reg.X d, imm) -> c.xregs.(d) <- imm; decr budget
+        | Instr.Mov (Reg.X d, Reg.X s) -> c.xregs.(d) <- c.xregs.(s); decr budget
+        | Instr.Iop (op, Reg.X d, Reg.X s, src) ->
+          let a = c.xregs.(s) and b = eval_src c src in
+          c.xregs.(d) <-
+            (match op with
+            | Instr.Addi -> a + b
+            | Instr.Subi -> a - b
+            | Instr.Muli -> a * b
+            | Instr.Mini -> min a b
+            | Instr.Maxi -> max a b);
+          decr budget
+        | Instr.Fli (Reg.F d, v) -> c.fregs.(d) <- v; decr budget
+        | Instr.Fop (op, Reg.F d, Reg.F a, Reg.F b) ->
+          let x = c.fregs.(a) and y = c.fregs.(b) in
+          c.fregs.(d) <-
+            (match op with
+            | Instr.Fadd -> x +. y
+            | Instr.Fsub -> x -. y
+            | Instr.Fmul -> x *. y
+            | Instr.Fdiv -> x /. y);
+          decr budget
+        | Instr.Fvop (op, Reg.F d, srcs) ->
+          (* Scalar FP executes in the scalar core's own FP unit; the data
+             values do not affect timing-relevant control flow. *)
+          let args =
+            Array.of_list (List.map (fun (Reg.F i) -> c.fregs.(i)) srcs)
+          in
+          c.fregs.(d) <- Vop.apply op args;
+          decr budget
+        | Instr.Flw { fdst = Reg.F d; _ } ->
+          (* Scalar loads go through the core's private L1 (Table 4); a
+             multi-version scalar loop only runs for tiny trip counts, so
+             a fixed 1-slot cost suffices. *)
+          c.fregs.(d) <- 0.0;
+          decr budget
+        | Instr.Fsw _ -> decr budget
+        | Instr.B _ -> next := targets.(c.pc); decr budget
+        | Instr.Bc (cond, Reg.X r, src, _) ->
+          if cond_holds cond c.xregs.(r) (eval_src c src) then
+            next := targets.(c.pc);
+          decr budget
+        | Instr.Halt ->
+          c.halted <- true;
+          c.finish <- t.cycle;
+          decr budget
+        | Instr.Mrs (Reg.X d, sr) ->
+          (match sr with
+          | Sysreg.VL | Sysreg.ZCR -> c.xregs.(d) <- c.vl
+          | Sysreg.STATUS -> c.xregs.(d) <- read_status t c
+          | Sysreg.DECISION ->
+            c.xregs.(d) <- read_decision t c;
+            c.monitor_instrs <- c.monitor_instrs + 1;
+            saw_monitor := true
+          | Sysreg.AL -> c.xregs.(d) <- read_al t
+          | Sysreg.OI -> c.xregs.(d) <- 0);
+          decr budget
+        | Instr.Msr_oi oi -> handle_oi_write t c oi; decr budget
+        | Instr.Msr (Sysreg.VL, src) ->
+          let l = eval_src c src in
+          if l < 0 || l > t.cfg.exebus then error "core%d: MSR <VL> %d" c.id l;
+          c.pending_vl <- Some l;
+          decr budget;
+          continue_ := false
+        | Instr.Msr (sr, _) ->
+          error "core%d: MSR %s not writable" c.id (Sysreg.name sr)
+        | Instr.Vred { dst = Reg.F d; _ } ->
+          (* Reduction result is data the timing model does not carry;
+             block for the drain (its real cost) and yield zero. *)
+          c.fregs.(d) <- 0.0;
+          c.pending_red <- true;
+          decr budget;
+          continue_ := false
+        | Instr.Vload _ | Instr.Vstore _ | Instr.Vop _ | Instr.Vdup _ ->
+          if c.vl <= 0 then
+            error "core%d: SVE instruction with <VL>=0 at pc=%d" c.id c.pc;
+          if !transmit_budget = 0 then continue_ := false
+          else if transmit c instr then decr transmit_budget
+          else continue_ := false);
+        if !continue_ && not c.halted then c.pc <- !next
+        else if c.halted then ()
+        else if c.pending_vl <> None || c.pending_red then c.pc <- !next
+      end
+    done;
+    if !budget = 0 && !saw_monitor then
+      c.monitor_stall_cycles <- c.monitor_stall_cycles + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rename (in order, bounded by freelist and window)                   *)
+(* ------------------------------------------------------------------ *)
+
+let rename t c =
+  if c.halted && Occamy_util.Bounded_queue.is_empty c.pool then ()
+  else begin
+    let renamed = ref 0 in
+    let stalled = ref false in
+    while
+      !renamed < t.cfg.rename_width
+      && (not !stalled)
+      && Occamy_util.Bounded_queue.length c.pool > 0
+      && Queue.length c.rob < t.cfg.window
+    do
+      let pe = Option.get (Occamy_util.Bounded_queue.peek_opt c.pool) in
+      let needs_row =
+        match pe with
+        | Pload _ | Pcompute _ | Pdup _ -> true
+        | Pstore _ -> false
+      in
+      if needs_row && not (Freelist.alloc c.freelist) then begin
+        stalled := true;
+        c.rename_stalls <- c.rename_stalls + 1;
+        match c.cur_phase with
+        | Some pa -> pa.pa_stalls <- pa.pa_stalls + 1
+        | None -> ()
+      end
+      else begin
+        ignore (Occamy_util.Bounded_queue.pop c.pool);
+        let width =
+          if Arch.shares_issue_ports t.arch then t.cfg.exebus else c.vl
+        in
+        let entry =
+          match pe with
+          | Pload { dst; arr; base; elems } ->
+            let e =
+              {
+                kind = Kload;
+                width;
+                arr;
+                base;
+                elems;
+                srcs = [];
+                has_row = true;
+                issued = false;
+                done_at = max_int;
+                mob_id = None;
+              }
+            in
+            c.vmap.(dst) <- Some e;
+            e
+          | Pstore { src; arr; base; elems } ->
+            {
+              kind = Kstore;
+              width;
+              arr;
+              base;
+              elems;
+              srcs = Option.to_list c.vmap.(src);
+              has_row = false;
+              issued = false;
+              done_at = max_int;
+              mob_id = None;
+            }
+          | Pcompute { op; dst; srcs } ->
+            let deps = List.filter_map (fun s -> c.vmap.(s)) srcs in
+            let e =
+              {
+                kind = Kcompute op;
+                width;
+                arr = -1;
+                base = 0;
+                elems = 0;
+                srcs = deps;
+                has_row = true;
+                issued = false;
+                done_at = max_int;
+                mob_id = None;
+              }
+            in
+            c.vmap.(dst) <- Some e;
+            e
+          | Pdup { dst } ->
+            let e =
+              {
+                kind = Kdup;
+                width;
+                arr = -1;
+                base = 0;
+                elems = 0;
+                srcs = [];
+                has_row = true;
+                issued = false;
+                done_at = max_int;
+                mob_id = None;
+              }
+            in
+            c.vmap.(dst) <- Some e;
+            e
+        in
+        Queue.push entry c.rob;
+        incr renamed
+      end
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Issue (out of order within the window)                              *)
+(* ------------------------------------------------------------------ *)
+
+let entry_ready now e =
+  List.for_all (fun p -> p.issued && p.done_at <= now) e.srcs
+
+let record_compute_issue t c width =
+  c.issued_compute <- c.issued_compute + 1;
+  (match c.cur_phase with
+  | Some pa -> pa.pa_compute <- pa.pa_compute + 1
+  | None -> ());
+  (* Busy-lane accounting for the §2 utilisation metric: a compute
+     instruction of [width] granules keeps [width*4] lanes busy for one of
+     the data path's [pipes] issue slots. *)
+  let lanes =
+    float_of_int (width * Lane.f32_per_granule)
+    /. float_of_int t.cfg.pipes_per_exebu
+  in
+  t.busy_lane_cycles <- t.busy_lane_cycles +. lanes;
+  Buckets.add c.lanes_buckets ~cycle:t.cycle lanes
+
+let record_mem_issue _t c =
+  c.issued_mem <- c.issued_mem + 1;
+  match c.cur_phase with
+  | Some pa -> pa.pa_mem <- pa.pa_mem + 1
+  | None -> ()
+
+exception Ports_exhausted
+
+let rec issue_core t c =
+  let dom = domain t c.id in
+  let owned_units =
+    if Arch.shares_issue_ports t.arch then
+      List.init t.cfg.exebus Fun.id
+    else Config_tbl.owned_by t.exebu_cfg ~core:c.id
+  in
+  try issue_core_scan t c ~dom ~owned_units
+  with Ports_exhausted -> ()
+
+and issue_core_scan t c ~dom ~owned_units =
+  Queue.iter
+    (fun e ->
+      if t.compute_budget.(dom) = 0 && t.mem_budget.(dom) = 0 then
+        raise_notrace Ports_exhausted;
+      if (not e.issued) && entry_ready t.cycle e then begin
+        match e.kind with
+        | Kcompute op ->
+          if
+            t.compute_budget.(dom) > 0
+            && Exebu.can_issue t.exebus ~unit_ids:owned_units
+          then begin
+            t.compute_budget.(dom) <- t.compute_budget.(dom) - 1;
+            Exebu.issue t.exebus ~unit_ids:owned_units;
+            e.issued <- true;
+            e.done_at <- t.cycle + Vop.latency op;
+            record_compute_issue t c e.width
+          end
+        | Kdup ->
+          if
+            t.compute_budget.(dom) > 0
+            && Exebu.can_issue t.exebus ~unit_ids:owned_units
+          then begin
+            t.compute_budget.(dom) <- t.compute_budget.(dom) - 1;
+            Exebu.issue t.exebus ~unit_ids:owned_units;
+            e.issued <- true;
+            e.done_at <- t.cycle + 3;
+            record_compute_issue t c e.width
+          end
+        | Kload | Kstore ->
+          let is_store = e.kind = Kstore in
+          if
+            t.mem_budget.(dom) > 0
+            && Lsu.can_accept c.lsu ~is_store
+            && (not (Mob.is_full t.mob))
+            && not
+                 (Mob.conflicts t.mob ~arr:e.arr ~base:e.base ~len:e.elems
+                    ~is_store)
+          then begin
+            t.mem_budget.(dom) <- t.mem_budget.(dom) - 1;
+            let level =
+              Profile.classify (Workload.profile_of_array c.wl e.arr) t.rng
+            in
+            let bytes = e.elems * 4 in
+            (* Unit-stride vector loads are the stream prefetcher's best
+               case; stores are buffered anyway so their observed latency
+               does not matter. *)
+            let done_at =
+              Hierarchy.access t.hierarchy ~prefetched:t.cfg.prefetch
+                ~now:t.cycle ~level ~bytes
+            in
+            let mob_id =
+              Mob.insert t.mob ~core:c.id ~arr:e.arr ~base:e.base ~len:e.elems
+                ~is_store
+            in
+            Lsu.add c.lsu ~done_at ~is_store ~mob_id;
+            e.issued <- true;
+            (* Senior stores: a store leaves the window at issue (its data
+               is in the store queue); the LSU/MOB keep tracking it until
+               the memory system completes it, so drains and ordering
+               still see it. Loads hold their window slot (and register
+               row) until the data returns. *)
+            e.done_at <- (if is_store then t.cycle else done_at);
+            e.mob_id <- mob_id;
+            record_mem_issue t c
+          end
+      end)
+    c.rob
+
+(* ------------------------------------------------------------------ *)
+(* Retire / commit                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let retire t c =
+  List.iter (fun id -> Mob.remove t.mob id) (Lsu.retire c.lsu ~now:t.cycle);
+  let continue_ = ref true in
+  while !continue_ do
+    match Queue.peek_opt c.rob with
+    | Some e when e.issued && e.done_at <= t.cycle ->
+      ignore (Queue.pop c.rob);
+      if e.has_row then Freelist.release c.freelist
+    | _ -> continue_ := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let all_done t =
+  Array.for_all
+    (fun c ->
+      c.halted && pipeline_drained c && c.pending_vl = None
+      && c.cs_state = Cs_running && c.cs_schedule = [])
+    t.cores
+
+let sample_stats t =
+  Array.iter
+    (fun c ->
+      if not c.halted then begin
+        Buckets.add c.vl_buckets ~cycle:t.cycle (float_of_int c.vl);
+        match c.cur_phase with
+        | Some pa ->
+          pa.pa_vl_sum <- pa.pa_vl_sum + c.vl;
+          pa.pa_cycles <- pa.pa_cycles + 1
+        | None -> ()
+      end)
+    t.cores
+
+let check_invariants t =
+  (match t.arch with
+  | Arch.Fts -> ()
+  | _ ->
+    if not (Rtbl.invariant_holds t.rtbl) then
+      error "resource table invariant violated at cycle %d" t.cycle;
+    let expected = Array.map (fun c -> c.vl) t.cores in
+    if not (Config_tbl.consistent_with t.exebu_cfg expected) then
+      error "Dispatch.Cfg inconsistent with <VL> at cycle %d" t.cycle;
+    if not (Config_tbl.consistent_with t.regblk_cfg expected) then
+      error "RegFile.Cfg inconsistent with <VL> at cycle %d" t.cycle)
+
+(* ------------------------------------------------------------------ *)
+(* OS context switches (§5)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Advance a core's scheduling state: Running -> Draining at the scheduled
+   cycle; Draining -> Away once the pipelines drain (context saved, lanes
+   released, replanning triggered for the co-runners); Away -> Restoring
+   after [cs_away_cycles]; Restoring -> Running once the vector length is
+   granted again. The restored length is the fresh plan's suggestion on
+   the elastic machine (the plan may have changed while away) and the
+   saved length elsewhere. *)
+let step_context_switch t c =
+  match c.cs_state with
+  | Cs_running -> (
+    match c.cs_schedule with
+    | cycle :: rest when t.cycle >= cycle && not c.halted ->
+      c.cs_schedule <- rest;
+      c.cs_state <- Cs_draining
+    | cycle :: rest when c.halted ->
+      ignore cycle;
+      c.cs_schedule <- rest
+    | _ -> ())
+  | Cs_draining ->
+    if pipeline_drained c && c.pending_vl = None && not c.pending_red then begin
+      let saved_vl = c.vl and saved_oi = Rtbl.oi t.rtbl ~core:c.id in
+      (match t.arch with
+      | Arch.Fts -> c.vl <- 0
+      | _ ->
+        ignore (Rtbl.try_set_vl t.rtbl ~core:c.id 0);
+        Config_tbl.release_all t.exebu_cfg ~core:c.id;
+        Config_tbl.release_all t.regblk_cfg ~core:c.id;
+        c.vl <- 0);
+      Rtbl.set_oi t.rtbl ~core:c.id Oi.zero;
+      (match t.lane_mgr with
+      | Some mgr ->
+        Lane_mgr.exit_phase mgr ~core:c.id;
+        Array.iteri
+          (fun core d -> Rtbl.set_decision t.rtbl ~core d)
+          (Lane_mgr.decisions mgr);
+        t.replans <- t.replans + 1
+      | None -> ());
+      c.cs_state <-
+        Cs_away { resume_at = t.cycle + t.cfg.cs_away_cycles; saved_vl; saved_oi }
+    end
+  | Cs_away { resume_at; saved_vl; saved_oi } ->
+    if t.cycle >= resume_at then begin
+      (* The OS restores <OI> (when non-zero), retriggering partitioning. *)
+      Rtbl.set_oi t.rtbl ~core:c.id saved_oi;
+      (match t.lane_mgr with
+      | Some mgr when not (Oi.is_zero saved_oi) ->
+        Lane_mgr.enter_phase mgr ~core:c.id ~oi:saved_oi ~level:c.cur_level;
+        Array.iteri
+          (fun core d -> Rtbl.set_decision t.rtbl ~core d)
+          (Lane_mgr.decisions mgr);
+        t.replans <- t.replans + 1
+      | _ -> ());
+      if saved_vl = 0 then c.cs_state <- Cs_running
+      else c.cs_state <- Cs_restoring { saved_vl }
+    end
+  | Cs_restoring { saved_vl } ->
+    let target =
+      match t.arch with
+      | Arch.Occamy -> max 1 (Rtbl.decision t.rtbl ~core:c.id)
+      | Arch.Fts -> t.cfg.exebus
+      | Arch.Private | Arch.Vls -> saved_vl
+    in
+    (match t.arch with
+    | Arch.Fts ->
+      c.vl <- target;
+      c.reconfigs <- c.reconfigs + 1;
+      c.cs_state <- Cs_running
+    | _ ->
+      if Rtbl.try_set_vl t.rtbl ~core:c.id target then begin
+        Config_tbl.reassign t.exebu_cfg ~core:c.id ~count:target;
+        Config_tbl.reassign t.regblk_cfg ~core:c.id ~count:target;
+        c.vl <- target;
+        c.reconfigs <- c.reconfigs + 1;
+        c.cs_state <- Cs_running
+      end)
+
+let step t =
+  t.cycle <- t.cycle + 1;
+  Exebu.begin_cycle t.exebus ~cycle:t.cycle;
+  Array.fill t.compute_budget 0 (Array.length t.compute_budget)
+    t.cfg.compute_ports;
+  Array.fill t.mem_budget 0 (Array.length t.mem_budget) t.cfg.mem_ports;
+  Array.iter (fun c -> retire t c) t.cores;
+  (* Round-robin both the issue and rename order so that shared resources
+     (FTS ports, the shared freelist) are arbitrated fairly. *)
+  let n = Array.length t.cores in
+  for k = 0 to n - 1 do
+    issue_core t t.cores.((k + t.cycle) mod n)
+  done;
+  for k = 0 to n - 1 do
+    rename t t.cores.((k + t.cycle) mod n)
+  done;
+  Array.iter (fun c -> step_frontend t c) t.cores;
+  Array.iter (fun c -> step_context_switch t c) t.cores;
+  (* Resolve pending vector-length requests once the pipelines drain
+     (§4.2.2 condition (2)). *)
+  Array.iter
+    (fun c ->
+      match c.pending_vl with
+      | Some l when pipeline_drained c -> resolve_vl_request t c l
+      | _ -> ())
+    t.cores;
+  sample_stats t;
+  if t.cycle land 1023 = 0 then check_invariants t
+
+let core_result c =
+  {
+    Metrics.core = c.id;
+    workload = c.wl.Workload.wl_name;
+    finish = c.finish;
+    issued_compute = c.issued_compute;
+    issued_mem = c.issued_mem;
+    rename_stall_cycles = c.rename_stalls;
+    reconfig_blocked_cycles = c.blocked_vl_cycles;
+    monitor_instrs = c.monitor_instrs;
+    monitor_stall_cycles = c.monitor_stall_cycles;
+    reconfigs = c.reconfigs;
+    failed_vl_requests = c.failed_vl;
+    phases = List.rev c.done_phases;
+    lanes_timeline = Buckets.rates c.lanes_buckets;
+    vl_timeline = Buckets.rates c.vl_buckets;
+  }
+
+let run t =
+  while (not (all_done t)) && t.cycle < t.cfg.max_cycles do
+    step t
+  done;
+  if not (all_done t) then
+    error "simulation exceeded %d cycles (deadlock or runaway loop?)"
+      t.cfg.max_cycles;
+  check_invariants t;
+  let total = Array.fold_left (fun acc c -> max acc c.finish) 0 t.cores in
+  {
+    Metrics.arch = t.arch;
+    total_cycles = total;
+    simd_util =
+      t.busy_lane_cycles
+      /. float_of_int (max 1 total * Config.total_lanes t.cfg);
+    busy_lane_cycles = t.busy_lane_cycles;
+    replans =
+      (match t.lane_mgr with Some m -> Lane_mgr.replans m | None -> t.replans);
+    cores = Array.map core_result t.cores;
+    bucket_width = t.bucket_width;
+  }
+
+(** Convenience: build and run in one call. *)
+let simulate ?cfg ?decisions ?context_switches ~arch workloads =
+  let t = create ?cfg ?decisions ?context_switches ~arch workloads in
+  run t
+
+let cycle t = t.cycle
+let config t = t.cfg

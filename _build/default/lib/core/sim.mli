@@ -1,0 +1,48 @@
+(** The cycle-level timing simulator — the gem5 substitute.
+
+    Executes one compiled workload per scalar core against one of the four
+    SIMD architectures, modelling the machine of Figures 4-5: decoupled
+    scalar front-ends that transmit non-speculative SVE/EM-SIMD
+    instructions in order (§4.1.1); per-core instruction pools, in-order
+    rename against per-core or shared physical-register freelists,
+    out-of-order issue windows; per-data-path (or, under FTS, shared)
+    compute and ld/st ports; a bandwidth-limited VecCache/L2/DRAM
+    hierarchy with a MOB; and the ResourceTbl/ConfigTbl/LaneMgr elastic
+    reconfiguration machinery — `MSR <VL>` succeeds only when lanes are
+    available *and* the core's SIMD pipeline has drained (§4.2.2).
+
+    Scalar register values are tracked exactly (control flow must be
+    faithful); vector data is not — {!Occamy_isa.Interp} covers value
+    semantics for the same programs. Runs are deterministic given
+    [Config.seed]. *)
+
+type t
+
+exception Simulation_error of string
+(** Internal inconsistency or runaway simulation (see
+    [Config.max_cycles]). *)
+
+val create :
+  ?cfg:Config.t -> ?decisions:int array -> ?context_switches:(int * int) list ->
+  arch:Arch.t -> Workload.t list -> t
+(** One workload per configured core. [decisions] forces a static
+    partition (lane sweeps, Figure 14(a)); it is rejected on the elastic
+    machine. [context_switches] schedules [(core, cycle)] OS preemptions:
+    at [cycle] the core's workload is descheduled (pipelines drained, the
+    EM-SIMD registers saved, lanes released) and later restored, its
+    `<OI>` rewritten to retrigger lane partitioning — the OS interaction
+    described in §5. *)
+
+val run : t -> Metrics.t
+(** Run to completion of every workload. *)
+
+val simulate :
+  ?cfg:Config.t -> ?decisions:int array -> ?context_switches:(int * int) list ->
+  arch:Arch.t -> Workload.t list -> Metrics.t
+(** [create] + [run]. *)
+
+val step : t -> unit
+(** Advance one cycle (exposed for tests). *)
+
+val cycle : t -> int
+val config : t -> Config.t

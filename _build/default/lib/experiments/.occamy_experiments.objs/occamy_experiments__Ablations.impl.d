@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array List Occamy_compiler Occamy_core Occamy_util Occamy_workloads

@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Array Buffer Fig10 Fig2 Filename Fun List Occamy_core Occamy_workloads Pair_run Printf String Sys

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: List Occamy_core Occamy_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Array Fmt List Occamy_compiler Occamy_core Occamy_isa Occamy_lanemgr Occamy_mem Occamy_util Occamy_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig16.ml: List Occamy_core Occamy_util Occamy_workloads

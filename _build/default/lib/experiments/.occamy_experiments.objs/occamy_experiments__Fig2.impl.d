@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array List Occamy_core Occamy_util Occamy_workloads Printf

@@ -1,0 +1,1 @@
+lib/experiments/pair_run.ml: Array Fun List Occamy_core Occamy_util Occamy_workloads

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Float List Occamy_core Occamy_util Occamy_workloads

@@ -1,0 +1,216 @@
+(** Ablations of the design choices DESIGN.md calls out: what breaks (or
+    does not) when each mechanism is turned off. Each function runs a
+    small controlled experiment and renders a table; the bench harness
+    prints them all under the `ablations` section. *)
+
+module Sim = Occamy_core.Sim
+module Arch = Occamy_core.Arch
+module Config = Occamy_core.Config
+module Metrics = Occamy_core.Metrics
+module Codegen = Occamy_compiler.Codegen
+module Suite = Occamy_workloads.Suite
+module Motivating = Occamy_workloads.Motivating
+module Table = Occamy_util.Table
+
+let pair_20_17 ?options () =
+  match Suite.find_pair "20+17" with
+  | Some p -> Suite.compile_pair ?options p
+  | None -> invalid_arg "Ablations: pair 20+17 missing"
+
+let core1_speedup ~base r = Metrics.speedup_vs ~baseline:base r ~core:1
+
+(* 1. The stream prefetcher: without it, streaming loads pay the full
+   L2/DRAM latency and the window depth (not bandwidth) bounds memory
+   phases — the roofline's premise breaks and lane partitioning loses its
+   meaning. *)
+let prefetcher () =
+  let tbl =
+    Table.create
+      ~title:
+        "Ablation: stream prefetcher — memory-phase cycles of WL20 (solo, 8 \
+         lanes vs 32 lanes); bandwidth-bound means roughly flat"
+      ~header:[ "prefetch"; "8 lanes"; "32 lanes"; "32-lane gain" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun prefetch ->
+      let cfg = { Config.default with Config.cores = 1; prefetch } in
+      let wl =
+        Codegen.compile_workload ~name:"wl20solo"
+          ~kind:Occamy_core.Workload.Memory_intensive
+          (List.map Occamy_workloads.Synth.loop_of_spec
+             (Occamy_workloads.Spec.specs_of 20))
+      in
+      let time granules =
+        (Sim.simulate ~cfg ~decisions:[| granules |] ~arch:Arch.Vls [ wl ])
+          .Metrics.total_cycles
+      in
+      let t8 = time 2 and t32 = time 8 in
+      Table.add_row tbl
+        [
+          (if prefetch then "on" else "off");
+          Table.icell t8;
+          Table.icell t32;
+          Table.xcell (float_of_int t8 /. float_of_int t32);
+        ])
+    [ true; false ];
+  tbl
+
+(* 2. The lazy-partition monitor: compiled out, a phase keeps its prologue
+   allocation — the elastic machine degenerates to per-phase static
+   sharing and loses the post-exit lane handoff. *)
+let monitor () =
+  let tbl =
+    Table.create
+      ~title:
+        "Ablation: lazy-partition monitor (Figure 9) — WL17 speedup over \
+         Private on the elastic machine"
+      ~header:[ "monitor"; "WL17 speedup"; "WL17 avg lanes" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      ()
+  in
+  let base = Sim.simulate ~arch:Arch.Private (pair_20_17 ()) in
+  List.iter
+    (fun monitor ->
+      let options = { Codegen.default_options with monitor } in
+      let r = Sim.simulate ~arch:Arch.Occamy (pair_20_17 ~options ()) in
+      let c1 = r.Metrics.cores.(1) in
+      let avg_vl =
+        Occamy_util.Stats.mean
+          (List.map (fun p -> p.Metrics.ps_avg_vl) c1.Metrics.phases)
+      in
+      Table.add_row tbl
+        [
+          (if monitor then "on" else "off");
+          Table.xcell (core1_speedup ~base r);
+          Table.fcell ~digits:1 (4.0 *. avg_vl);
+        ])
+    [ true; false ];
+  tbl
+
+(* 3. Prologue/epilogue hoisting (§6.3): without it an outer loop
+   re-triggers eager partitioning every repetition. *)
+let hoisting () =
+  let tbl =
+    Table.create
+      ~title:
+        "Ablation: phase prologue hoisting (§6.3) — WL#1 with a 16x outer \
+         loop co-running against WL#0"
+      ~header:[ "hoist"; "WL#1 cycles"; "replans"; "reconfig overhead" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun hoist ->
+      let options = { Codegen.default_options with hoist } in
+      let wl0 = Motivating.wl0 ~options ~tc:10240 () in
+      let wl1_loop =
+        { (Motivating.wsm5_loop ~tc:8192) with
+          Occamy_compiler.Loop_ir.outer_reps = 16 }
+      in
+      let wl1 =
+        Codegen.compile_workload ~options ~name:"WL#1rep"
+          ~kind:Occamy_core.Workload.Compute_intensive [ wl1_loop ]
+      in
+      let r = Sim.simulate ~arch:Arch.Occamy [ wl0; wl1 ] in
+      let c1 = r.Metrics.cores.(1) in
+      let _, reconf =
+        Metrics.overhead r
+          ~frontend_width:Config.default.Config.frontend_width ~core:1
+      in
+      Table.add_row tbl
+        [
+          (if hoist then "on" else "off");
+          Table.icell c1.Metrics.finish;
+          Table.icell r.Metrics.replans;
+          Table.pcell ~digits:2 reconf;
+        ])
+    [ true; false ];
+  tbl
+
+(* 4. Per-core window depth: the memory-level parallelism that lets
+   bandwidth (not latency) bound the memory phases. *)
+let window_depth () =
+  let tbl =
+    Table.create
+      ~title:
+        "Ablation: per-core instruction window — motivating pair on Occamy"
+      ~header:[ "window"; "WL#0 cycles"; "WL#1 cycles"; "util" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun window ->
+      let cfg = { Config.default with Config.window } in
+      let r = Sim.simulate ~cfg ~arch:Arch.Occamy (Motivating.pair ()) in
+      Table.add_row tbl
+        [
+          Table.icell window;
+          Table.icell r.Metrics.cores.(0).Metrics.finish;
+          Table.icell r.Metrics.cores.(1).Metrics.finish;
+          Table.pcell r.Metrics.simd_util;
+        ])
+    [ 32; 64; 128 ];
+  tbl
+
+(* 5. FTS register-file depth: how much deeper the shared VRF must be
+   before the Figure-13 rename stalls fade. *)
+let fts_vrf_depth () =
+  let tbl =
+    Table.create
+      ~title:
+        "Ablation: RegBlk depth under FTS — rename-stall fraction and WL#1 \
+         time (motivating pair); the paper expands VRF only at area cost \
+         (§7.6)"
+      ~header:[ "depth"; "stall frac c0"; "stall frac c1"; "WL#1 cycles" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun regblk_depth ->
+      let cfg = { Config.default with Config.regblk_depth } in
+      let r = Sim.simulate ~cfg ~arch:Arch.Fts (Motivating.pair ()) in
+      Table.add_row tbl
+        [
+          Table.icell regblk_depth;
+          Table.pcell (Metrics.rename_stall_fraction r ~core:0);
+          Table.pcell (Metrics.rename_stall_fraction r ~core:1);
+          Table.icell r.Metrics.cores.(1).Metrics.finish;
+        ])
+    [ 160; 224; 320 ];
+  tbl
+
+(* 6. OS context switches (§5): preempting the memory workload hands its
+   lanes to the co-runner until the OS restores it. *)
+let context_switch () =
+  let tbl =
+    Table.create
+      ~title:
+        "Ablation: OS context switch of WL#0 (descheduled 3000 cycles) — \
+         the co-runner inherits the lanes meanwhile (§5)"
+      ~header:
+        [ "arch"; "WL#0 cycles"; "WL#0 +switch"; "WL#1 cycles"; "WL#1 +switch" ]
+      ~aligns:(Table.Left :: List.init 4 (fun _ -> Table.Right))
+      ()
+  in
+  List.iter
+    (fun arch ->
+      let base = Sim.simulate ~arch (Motivating.pair ()) in
+      let r =
+        Sim.simulate ~context_switches:[ (0, 2000) ] ~arch (Motivating.pair ())
+      in
+      Table.add_row tbl
+        [
+          Arch.name arch;
+          Table.icell base.Metrics.cores.(0).Metrics.finish;
+          Table.icell r.Metrics.cores.(0).Metrics.finish;
+          Table.icell base.Metrics.cores.(1).Metrics.finish;
+          Table.icell r.Metrics.cores.(1).Metrics.finish;
+        ])
+    [ Arch.Private; Arch.Occamy ];
+  tbl
+
+let all () =
+  [ prefetcher (); monitor (); hoisting (); window_depth (); fts_vrf_depth ();
+    context_switch () ]

@@ -1,0 +1,128 @@
+(** Figures 10, 11, 13 and 15 — the 25-pair evaluation sweep.
+
+    One set of simulations (25 pairs x 4 architectures) feeds four
+    figures: per-core speedups over Private (Fig 10), SIMD utilization
+    (Fig 11), FTS rename-stall fractions (Fig 13), and Occamy's EM-SIMD
+    runtime overhead (Fig 15). *)
+
+module Arch = Occamy_core.Arch
+module Table = Occamy_util.Table
+
+type t = { runs : Pair_run.t list }
+
+let run ?cfg ?tc_scale ?progress () =
+  { runs = Pair_run.run_all ?cfg ?tc_scale ?progress () }
+
+let label r = r.Pair_run.pair.Occamy_workloads.Suite.label
+
+let speedup_table t ~core =
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Figure 10 (Core%d): speedups over Private%s" core
+           (if core = 1 then " [paper GM: FTS 1.20x, VLS 1.11x, Occamy 1.39x]"
+            else " [paper: ~1.0x everywhere]"))
+      ~header:[ "pair"; "FTS"; "VLS"; "Occamy" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [
+          label r;
+          Table.xcell (Pair_run.speedup r Arch.Fts ~core);
+          Table.xcell (Pair_run.speedup r Arch.Vls ~core);
+          Table.xcell (Pair_run.speedup r Arch.Occamy ~core);
+        ])
+    t.runs;
+  Table.add_row tbl
+    [
+      "GM";
+      Table.xcell (Pair_run.geomean_speedup t.runs Arch.Fts ~core);
+      Table.xcell (Pair_run.geomean_speedup t.runs Arch.Vls ~core);
+      Table.xcell (Pair_run.geomean_speedup t.runs Arch.Occamy ~core);
+    ];
+  tbl
+
+let util_table t =
+  let tbl =
+    Table.create
+      ~title:
+        "Figure 11: SIMD utilization [paper GM: Private 63.2%, FTS 72.5%, \
+         VLS 70.8%, Occamy 84.2%]"
+      ~header:[ "pair"; "Private"; "FTS"; "VLS"; "Occamy" ]
+      ~aligns:(Table.Left :: List.init 4 (fun _ -> Table.Right))
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        (label r
+        :: List.map (fun a -> Table.pcell (Pair_run.util r a)) Arch.all))
+    t.runs;
+  Table.add_row tbl
+    ("GM"
+    :: List.map (fun a -> Table.pcell (Pair_run.geomean_util t.runs a)) Arch.all);
+  tbl
+
+let fts_stall_table t =
+  let tbl =
+    Table.create
+      ~title:
+        "Figure 13: fraction of cycles stalled waiting for free registers \
+         on FTS [paper: >70% on average; ~none on the others]"
+      ~header:[ "pair"; "Core0"; "Core1"; "Occamy Core1 (contrast)" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      let occamy =
+        Occamy_core.Metrics.rename_stall_fraction
+          (Pair_run.result r Arch.Occamy) ~core:1
+      in
+      Table.add_row tbl
+        [
+          label r;
+          Table.pcell (Pair_run.fts_stall_fraction r ~core:0);
+          Table.pcell (Pair_run.fts_stall_fraction r ~core:1);
+          Table.pcell occamy;
+        ])
+    t.runs;
+  tbl
+
+let overhead_table ?cfg t =
+  let tbl =
+    Table.create
+      ~title:
+        "Figure 15: Occamy EM-SIMD runtime overhead [paper: 0.3% monitoring \
+         + 0.2% reconfiguration on average]"
+      ~header:[ "pair"; "monitoring"; "reconfiguring VL"; "total" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  let acc_m = ref [] and acc_r = ref [] in
+  List.iter
+    (fun r ->
+      let m, rc = Pair_run.occamy_overhead ?cfg r in
+      acc_m := m :: !acc_m;
+      acc_r := rc :: !acc_r;
+      Table.add_row tbl
+        [
+          label r;
+          Table.pcell ~digits:2 m;
+          Table.pcell ~digits:2 rc;
+          Table.pcell ~digits:2 (m +. rc);
+        ])
+    t.runs;
+  let gm xs = Occamy_util.Stats.mean xs in
+  Table.add_row tbl
+    [
+      "mean";
+      Table.pcell ~digits:2 (gm !acc_m);
+      Table.pcell ~digits:2 (gm !acc_r);
+      Table.pcell ~digits:2 (gm !acc_m +. gm !acc_r);
+    ];
+  tbl

@@ -1,0 +1,42 @@
+(** Figure 12: chip-area breakdown of the four architectures (2-core
+    configuration, TSMC 7nm in the paper; our calibrated analytic model). *)
+
+module Arch = Occamy_core.Arch
+module Area = Occamy_core.Area
+module Table = Occamy_util.Table
+
+let area_table ?(cores = 2) () =
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Figure 12: area breakdown, %d-core configuration (mm^2) [paper \
+            totals: 1.263 for Private/FTS/VLS, 1.265 for Occamy; exe 46%%, \
+            LSU 23%%, regfile 15%%]"
+           cores)
+      ~header:
+        ("Component" :: List.map Arch.name Arch.all)
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) Arch.all)
+      ()
+  in
+  List.iter
+    (fun comp ->
+      Table.add_row tbl
+        (Area.component_name comp
+        :: List.map
+             (fun arch ->
+               Table.fcell ~digits:3 (Area.component_mm2 arch ~cores comp))
+             Arch.all))
+    Area.components;
+  Table.add_row tbl
+    ("Total"
+    :: List.map
+         (fun arch -> Table.fcell ~digits:3 (Area.total_mm2 arch ~cores))
+         Arch.all);
+  tbl
+
+let fts_overhead_note () =
+  Printf.sprintf
+    "4-core FTS keeps the 2-core per-core register count: %.1f%% more area \
+     than the other 4-core architectures (paper: 33.5%%)"
+    (100.0 *. Area.fts_four_core_overhead ())

@@ -1,0 +1,169 @@
+(** Figure 14 + Table 5: the WL20 + WL17 case study (§7.4 Case 1) and the
+    roofline attainable-performance table for WL8.p1 (Case 4).
+
+    (a) normalized execution time of each phase when run alone with a
+        fixed number of lanes (4..28);
+    (b) the lane-partition timeline observed by WL17 under Private, VLS
+        and Occamy;
+    (c) per-phase SIMD issue rates on all four architectures, plus the
+        cycles FTS spends stalled waiting for free registers. *)
+
+module Sim = Occamy_core.Sim
+module Arch = Occamy_core.Arch
+module Config = Occamy_core.Config
+module Metrics = Occamy_core.Metrics
+module Codegen = Occamy_compiler.Codegen
+module Workload = Occamy_core.Workload
+module Spec = Occamy_workloads.Spec
+module Synth = Occamy_workloads.Synth
+module Suite = Occamy_workloads.Suite
+module Table = Occamy_util.Table
+
+(* Run one phase alone on a single-core machine with a fixed lane count. *)
+let solo_time ?(cfg = Config.default) spec ~granules =
+  let cfg = { cfg with Config.cores = 1 } in
+  let wl =
+    Codegen.compile_workload
+      ~name:(spec.Synth.k_name ^ "_solo")
+      ~kind:Workload.Mixed
+      [ Synth.loop_of_spec spec ]
+  in
+  let r = Sim.simulate ~cfg ~decisions:[| granules |] ~arch:Arch.Vls [ wl ] in
+  r.Metrics.total_cycles
+
+let sweep_phases () =
+  match (Spec.specs_of 20, Spec.specs_of 17) with
+  | [ p1; p2 ], [ p3 ] -> [ ("WL20.p1", p1); ("WL20.p2", p2); ("WL17", p3) ]
+  | _ -> invalid_arg "Fig14: unexpected WL20/WL17 shapes"
+
+(* (a): times normalized to the 4-lane (1-granule) run of each phase. *)
+let lane_sweep_table ?cfg () =
+  let phases = sweep_phases () in
+  let granules = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let tbl =
+    Table.create
+      ~title:
+        "Figure 14(a): normalized solo execution time vs lane count [paper: \
+         WL20.p1 flat beyond 8 lanes, WL20.p2 beyond 12; WL17 always gains]"
+      ~header:
+        ("phase" :: List.map (fun g -> Printf.sprintf "%d lanes" (4 * g)) granules)
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) granules)
+      ()
+  in
+  List.iter
+    (fun (label, spec) ->
+      let times = List.map (fun g -> solo_time ?cfg spec ~granules:g) granules in
+      let t0 = float_of_int (List.hd times) in
+      Table.add_row tbl
+        (label
+        :: List.map (fun t -> Table.fcell (float_of_int t /. t0)) times))
+    phases;
+  tbl
+
+(* The co-run itself. *)
+type corun = { results : (Arch.t * Metrics.t) list }
+
+let run_corun ?cfg () =
+  let pair =
+    match Suite.find_pair "20+17" with
+    | Some p -> p
+    | None -> invalid_arg "Fig14: pair 20+17 missing from the suite"
+  in
+  let wls () = Suite.compile_pair pair in
+  { results = List.map (fun a -> (a, Sim.simulate ?cfg ~arch:a (wls ()))) Arch.all }
+
+(* (b): lanes held by WL17 over time, per architecture. *)
+let partition_timeline_table t =
+  let tbl =
+    Table.create
+      ~title:
+        "Figure 14(b): lanes allocated to WL17 per 1000 cycles [paper: \
+         Private fixed 16, VLS fixed 20, Occamy 24/20/32]"
+      ~header:[ "kcycle"; "Private"; "VLS"; "Occamy" ]
+      ()
+  in
+  let tl arch =
+    (List.assoc arch t.results).Metrics.cores.(1).Metrics.vl_timeline
+  in
+  let tp = tl Arch.Private and tv = tl Arch.Vls and to_ = tl Arch.Occamy in
+  let n = max (Array.length tp) (max (Array.length tv) (Array.length to_)) in
+  for i = 0 to n - 1 do
+    let get a = if i < Array.length a then 4.0 *. a.(i) else 0.0 in
+    Table.add_row tbl
+      [
+        Table.icell i;
+        Table.fcell ~digits:1 (get tp);
+        Table.fcell ~digits:1 (get tv);
+        Table.fcell ~digits:1 (get to_);
+      ]
+  done;
+  tbl
+
+(* (c): per-phase issue rates and FTS stall cycles. *)
+let issue_rate_table t =
+  let tbl =
+    Table.create
+      ~title:
+        "Figure 14(c): per-phase SIMD issue rates (insts/cycle) and cycles \
+         stalled for registers [paper: Occamy 1.88/1.65 on WL20 phases; FTS \
+         stalls in the thousands, others 0]"
+      ~header:[ "arch"; "20.p1"; "20.p2"; "17.p1"; "stall c0"; "stall c1" ]
+      ~aligns:(Table.Left :: List.init 5 (fun _ -> Table.Right))
+      ()
+  in
+  List.iter
+    (fun arch ->
+      let r = List.assoc arch t.results in
+      let c0 = r.Metrics.cores.(0) and c1 = r.Metrics.cores.(1) in
+      let rate c i =
+        match List.nth_opt c.Metrics.phases i with
+        | Some p -> Table.fcell (Metrics.ps_issue_rate p)
+        | None -> "-"
+      in
+      Table.add_row tbl
+        [
+          Arch.name arch;
+          rate c0 0;
+          rate c0 1;
+          rate c1 0;
+          Table.icell c0.Metrics.rename_stall_cycles;
+          Table.icell c1.Metrics.rename_stall_cycles;
+        ])
+    Arch.all;
+  tbl
+
+(* Table 5: the roofline rows for WL8.p1 (oi_issue < oi_mem, L2 level). *)
+let table5 ?(roofline = Occamy_lanemgr.Roofline.default_cfg) () =
+  let spec = List.hd (Spec.specs_of 8) in
+  let oi = Synth.analysed_oi spec in
+  let level = spec.Synth.k_level in
+  let tbl =
+    Table.create
+      ~title:
+        (Fmt.str
+           "Table 5: attainable performance for WL8.p1 (analysed oi=%a, %s) \
+            in flops/cycle [paper crossover: issue-bound below 12 lanes]"
+           Occamy_isa.Oi.pp oi
+           (Occamy_mem.Level.name level))
+      ~header:[ "VL (lanes)"; "SIMDIssueBound"; "MemBound"; "CompBound";
+                "Performance"; "binding" ]
+      ~aligns:(Table.Left :: List.init 5 (fun _ -> Table.Right))
+      ()
+  in
+  List.iter
+    (fun vl ->
+      let issue, mem, comp, perf =
+        Occamy_lanemgr.Roofline.table5_row roofline ~vl ~oi ~level
+      in
+      Table.add_row tbl
+        [
+          Table.icell (4 * vl);
+          Table.fcell ~digits:1 issue;
+          Table.fcell ~digits:1 mem;
+          Table.fcell ~digits:1 comp;
+          Table.fcell ~digits:1 perf;
+          Occamy_lanemgr.Roofline.bound_name
+            (Occamy_lanemgr.Roofline.binding roofline ~vl ~oi ~level);
+        ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  tbl

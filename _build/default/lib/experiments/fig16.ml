@@ -1,0 +1,78 @@
+(** Figure 16: 4-core scalability — four groups of four workloads on the
+    doubled machine (64 lanes), speedups per core with Private as the
+    baseline. *)
+
+module Sim = Occamy_core.Sim
+module Arch = Occamy_core.Arch
+module Config = Occamy_core.Config
+module Metrics = Occamy_core.Metrics
+module Suite = Occamy_workloads.Suite
+module Table = Occamy_util.Table
+
+type group_run = {
+  group : Suite.group;
+  results : (Arch.t * Metrics.t) list;
+}
+
+let run_group ?(cfg = Config.four_core) ?tc_scale g =
+  {
+    group = g;
+    results =
+      List.map
+        (fun arch ->
+          (arch, Sim.simulate ~cfg ~arch (Suite.compile_group ?tc_scale g)))
+        Arch.all;
+  }
+
+let run ?cfg ?tc_scale () =
+  List.map (run_group ?cfg ?tc_scale) Suite.four_core_groups
+
+let speedup_table group_runs =
+  let tbl =
+    Table.create
+      ~title:
+        "Figure 16: 4-core speedups over Private [paper: Core0/1 ~1x, \
+         Core2/3 gain; Occamy best overall]"
+      ~header:
+        [ "group"; "arch"; "Core0"; "Core1"; "Core2"; "Core3" ]
+      ~aligns:
+        (Table.Left :: Table.Left :: List.init 4 (fun _ -> Table.Right))
+      ()
+  in
+  let add_group label results =
+    let base = List.assoc Arch.Private results in
+    List.iter
+      (fun arch ->
+        if arch <> Arch.Private then
+          Table.add_row tbl
+            (label :: Arch.name arch
+            :: List.map
+                 (fun core ->
+                   Table.xcell
+                     (Metrics.speedup_vs ~baseline:base
+                        (List.assoc arch results) ~core))
+                 [ 0; 1; 2; 3 ]))
+      Arch.all
+  in
+  List.iter
+    (fun gr -> add_group gr.group.Suite.g_label gr.results)
+    group_runs;
+  (* GM row per architecture over groups and compute cores. *)
+  List.iter
+    (fun arch ->
+      if arch <> Arch.Private then begin
+        let per_core core =
+          Occamy_util.Stats.geomean
+            (List.map
+               (fun gr ->
+                 let base = List.assoc Arch.Private gr.results in
+                 Metrics.speedup_vs ~baseline:base
+                   (List.assoc arch gr.results) ~core)
+               group_runs)
+        in
+        Table.add_row tbl
+          ("GM" :: Arch.name arch
+          :: List.map (fun c -> Table.xcell (per_core c)) [ 0; 1; 2; 3 ])
+      end)
+    Arch.all;
+  tbl

@@ -1,0 +1,104 @@
+(** Figure 2: the motivating example — WL#0 (654.rom_s, memory-intensive,
+    two phases) co-running with WL#1 (621.wrf_s, compute-intensive) on the
+    four architectures. Produces the Figure 2(f) statistics table and the
+    per-1000-cycle lane-occupancy timelines of Figures 2(b)-(e). *)
+
+module Sim = Occamy_core.Sim
+module Arch = Occamy_core.Arch
+module Metrics = Occamy_core.Metrics
+module Motivating = Occamy_workloads.Motivating
+module Table = Occamy_util.Table
+
+type t = { results : (Arch.t * Metrics.t) list }
+
+let run ?cfg () =
+  {
+    results =
+      List.map
+        (fun arch -> (arch, Sim.simulate ?cfg ~arch (Motivating.pair ())))
+        Arch.all;
+  }
+
+let result t arch = List.assoc arch t.results
+
+(* Paper's Figure 2(f) numbers for side-by-side comparison. *)
+let paper_row = function
+  | Arch.Private -> ("1.00x", "1.00x", "60.6%")
+  | Arch.Fts -> ("1.00x", "1.41x", "84.7%")
+  | Arch.Vls -> ("1.00x", "1.25x", "75.6%")
+  | Arch.Occamy -> ("0.98x", "1.62x", "96.7%")
+
+let stats_table t =
+  let base = result t Arch.Private in
+  let tbl =
+    Table.create ~title:"Figure 2(f): motivating-example statistics"
+      ~header:
+        [ "Arch"; "VL WL#0"; "VL WL#1"; "issue p1"; "issue p2"; "issue WL#1";
+          "time WL#0"; "time WL#1"; "speedup0"; "speedup1"; "util";
+          "paper(s0,s1,util)" ]
+      ~aligns:(Table.Left :: List.init 11 (fun _ -> Table.Right))
+      ()
+  in
+  List.iter
+    (fun arch ->
+      let r = result t arch in
+      let c0 = r.Metrics.cores.(0) and c1 = r.Metrics.cores.(1) in
+      let phase_issue c i =
+        match List.nth_opt c.Metrics.phases i with
+        | Some p -> Table.fcell (Metrics.ps_issue_rate p)
+        | None -> "-"
+      in
+      let avg_lanes c =
+        let vls = List.map (fun p -> p.Metrics.ps_avg_vl) c.Metrics.phases in
+        Table.fcell ~digits:1 (4.0 *. Occamy_util.Stats.mean vls)
+      in
+      let p0, p1, pu = paper_row arch in
+      Table.add_row tbl
+        [
+          Arch.name arch;
+          avg_lanes c0;
+          avg_lanes c1;
+          phase_issue c0 0;
+          phase_issue c0 1;
+          phase_issue c1 0;
+          Table.icell c0.Metrics.finish;
+          Table.icell c1.Metrics.finish;
+          Table.xcell (Metrics.speedup_vs ~baseline:base r ~core:0);
+          Table.xcell (Metrics.speedup_vs ~baseline:base r ~core:1);
+          Table.pcell r.Metrics.simd_util;
+          Printf.sprintf "%s %s %s" p0 p1 pu;
+        ])
+    Arch.all;
+  tbl
+
+(* Figures 2(b)-(e): average busy lanes per core per 1000-cycle bucket. *)
+let timeline_table t arch =
+  let r = result t arch in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "Figure 2(%c): %s lane occupancy per 1000 cycles"
+           (match arch with
+           | Arch.Private -> 'b'
+           | Arch.Fts -> 'c'
+           | Arch.Vls -> 'd'
+           | Arch.Occamy -> 'e')
+           (Arch.name arch))
+      ~header:[ "kcycle"; "core0 lanes"; "core1 lanes"; "core1 held (VL)" ]
+      ()
+  in
+  let t0 = r.Metrics.cores.(0).Metrics.lanes_timeline in
+  let t1 = r.Metrics.cores.(1).Metrics.lanes_timeline in
+  let v1 = r.Metrics.cores.(1).Metrics.vl_timeline in
+  let n = max (Array.length t0) (Array.length t1) in
+  for i = 0 to n - 1 do
+    let get a = if i < Array.length a then a.(i) else 0.0 in
+    Table.add_row tbl
+      [
+        Table.icell i;
+        Table.fcell ~digits:1 (get t0);
+        Table.fcell ~digits:1 (get t1);
+        Table.fcell ~digits:1 (4.0 *. get v1);
+      ]
+  done;
+  tbl

@@ -1,0 +1,46 @@
+(** Table 3 cross-check: the paper's per-phase operational intensities
+    next to the Equation-5 analysis of our re-authored kernels, plus the
+    Table 4 machine-parameter listing. *)
+
+module Table = Occamy_util.Table
+module Config = Occamy_core.Config
+
+let table3 () =
+  let tbl =
+    Table.create
+      ~title:
+        "Table 3: workload phases — paper oi_mem vs analysed oi_mem of the \
+         synthesized kernel"
+      ~header:[ "workload"; "phase"; "paper"; "analysed"; "delta" ]
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun (wl, phase, paper, got) ->
+      Table.add_row tbl
+        [
+          wl;
+          phase;
+          Table.fcell ~digits:3 paper;
+          Table.fcell ~digits:3 got;
+          Table.fcell ~digits:3 (Float.abs (got -. paper));
+        ])
+    (Occamy_workloads.Suite.table3_rows ());
+  tbl
+
+let table4 ?(cfg = Config.default) () =
+  let tbl =
+    Table.create ~title:"Table 4: micro-architectural parameters"
+      ~header:[ "parameter"; "value" ]
+      ~aligns:[ Table.Left; Table.Left ] ()
+  in
+  List.iter (fun (k, v) -> Table.add_row tbl [ k; v ]) (Config.table4_rows cfg);
+  tbl
+
+(** Worst absolute OI mismatch across all phases — tested to stay small. *)
+let max_oi_error () =
+  List.fold_left
+    (fun acc (_, _, paper, got) -> Float.max acc (Float.abs (got -. paper)))
+    0.0
+    (Occamy_workloads.Suite.table3_rows ())

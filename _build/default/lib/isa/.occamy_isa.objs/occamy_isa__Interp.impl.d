@@ -1,0 +1,1 @@
+lib/isa/interp.ml: Array Float Instr Lane List Oi Printf Program Reg Sysreg Vop

@@ -1,0 +1,1 @@
+lib/isa/interp.mli: Oi Program Reg

@@ -1,0 +1,1 @@
+lib/isa/sysreg.ml: Fmt

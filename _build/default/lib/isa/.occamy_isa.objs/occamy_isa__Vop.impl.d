@@ -1,0 +1,1 @@
+lib/isa/vop.ml: Float Fmt

@@ -1,0 +1,34 @@
+(** Vector ALU operations with the timing metadata the simulator and the
+    Equation-5 analysis need. *)
+
+type t = Add | Sub | Mul | Div | Fma | Max | Min | Abs | Neg | Sqrt
+
+val all : t list
+
+val arity : t -> int
+(** Operand count; [Fma] takes three: [dst <- s1 + s2*s3]. *)
+
+val latency : t -> int
+(** Pipelined execution latency in cycles. *)
+
+val flops_per_elem : t -> int
+(** FLOPs per 32-bit element; FMA counts two. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val apply : t -> float array -> float
+(** Element-wise semantics; raises on arity mismatch. *)
+
+(** Reduction operators (the [Vred] instructions). *)
+module Red : sig
+  type t = Sum | Maxr | Minr
+
+  val name : t -> string
+  val pp : Format.formatter -> t -> unit
+
+  val identity : t -> float
+  (** The neutral element the accumulator restarts from. *)
+
+  val combine : t -> float -> float -> float
+end

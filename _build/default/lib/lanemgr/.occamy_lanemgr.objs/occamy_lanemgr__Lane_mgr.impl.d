@@ -1,0 +1,1 @@
+lib/lanemgr/lane_mgr.ml: Array Fun List Occamy_isa Occamy_mem Partition Roofline

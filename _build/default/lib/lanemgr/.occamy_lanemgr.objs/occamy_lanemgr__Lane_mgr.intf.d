@@ -1,0 +1,1 @@
+lib/lanemgr/lane_mgr.mli: Occamy_isa Occamy_mem Roofline

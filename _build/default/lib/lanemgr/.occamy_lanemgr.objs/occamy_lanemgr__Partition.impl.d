@@ -1,0 +1,1 @@
+lib/lanemgr/partition.ml: Hashtbl List Occamy_isa Occamy_mem Printf Roofline

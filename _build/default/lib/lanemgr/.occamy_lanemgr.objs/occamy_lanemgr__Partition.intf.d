@@ -1,0 +1,1 @@
+lib/lanemgr/partition.mli: Occamy_isa Occamy_mem Roofline

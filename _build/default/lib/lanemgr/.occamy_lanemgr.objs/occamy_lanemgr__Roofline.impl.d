@@ -1,0 +1,1 @@
+lib/lanemgr/roofline.ml: Float Occamy_isa Occamy_mem

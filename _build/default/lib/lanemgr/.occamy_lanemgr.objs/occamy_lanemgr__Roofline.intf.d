@@ -1,0 +1,1 @@
+lib/lanemgr/roofline.mli: Occamy_isa Occamy_mem

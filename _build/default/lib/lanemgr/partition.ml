@@ -1,0 +1,76 @@
+(** The greedy lane-partitioning algorithm of §5.2.
+
+    Given the phase behaviours of the co-running workloads (from their
+    `<OI>` registers) and [total] ExeBUs, produce a lane-partition plan
+    {vl_1 .. vl_M} subject to Equation (1): every active workload receives
+    at least one ExeBU (no starvation) and the plan never over-commits.
+
+    Steps, as in the paper:
+    1. one ExeBU to each workload currently executing a phase;
+    2. iteratively: sort workloads by decreasing net performance gain for
+       one extra ExeBU (Equation 3) and give one to each workload with a
+       positive gain, in that order, while ExeBUs remain;
+    3. stop when ExeBUs run out or nobody gains.
+
+    Fairness consequences tested in the suite: co-running purely
+    compute-intensive workloads split the lanes equally; memory-intensive
+    workloads are never starved below one ExeBU. *)
+
+type workload = {
+  key : int;  (** caller's identifier, e.g. core id *)
+  oi : Occamy_isa.Oi.t;
+  level : Occamy_mem.Level.t;
+}
+
+let gain_epsilon = 1e-9
+
+(* "No further performance gain" (§5.2) in the presence of several nearly
+   flat ceilings: marginal gains below this fraction of the already
+   attainable performance do not justify an ExeBU that a co-runner could
+   turn into real throughput. *)
+let relative_gain_threshold = 0.05
+
+let plan cfg ~total (workloads : workload list) =
+  let active = List.filter (fun w -> not (Occamy_isa.Oi.is_zero w.oi)) workloads in
+  let m = List.length active in
+  if m = 0 then []
+  else if total < m then
+    invalid_arg
+      (Printf.sprintf "Partition.plan: %d ExeBUs cannot host %d workloads"
+         total m)
+  else begin
+    let alloc = Hashtbl.create 8 in
+    List.iter (fun w -> Hashtbl.replace alloc w.key 1) active;
+    let remaining = ref (total - m) in
+    let gain w =
+      let vl = Hashtbl.find alloc w.key in
+      let g = Roofline.net_perf_gain cfg ~vl ~oi:w.oi ~level:w.level in
+      let ap = Roofline.attainable cfg ~vl ~oi:w.oi ~level:w.level in
+      if g < relative_gain_threshold *. ap then 0.0 else g
+    in
+    let progress = ref true in
+    while !remaining > 0 && !progress do
+      progress := false;
+      (* Sort by decreasing net gain; stable sort keeps the caller's order
+         for ties, so equal workloads grow in lock-step. *)
+      let order =
+        List.stable_sort (fun a b -> compare (gain b) (gain a)) active
+      in
+      List.iter
+        (fun w ->
+          if !remaining > 0 && gain w > gain_epsilon then begin
+            Hashtbl.replace alloc w.key (Hashtbl.find alloc w.key + 1);
+            decr remaining;
+            progress := true
+          end)
+        order
+    done;
+    List.map (fun w -> (w.key, Hashtbl.find alloc w.key)) active
+  end
+
+(** Total granules granted by a plan. *)
+let granted plan = List.fold_left (fun acc (_, vl) -> acc + vl) 0 plan
+
+(** Check Equation (1) against a plan. *)
+let satisfies_constraints ~total plan =
+  List.for_all (fun (_, vl) -> vl > 0) plan && granted plan <= total

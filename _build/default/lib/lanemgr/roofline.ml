@@ -1,0 +1,103 @@
+(** The vector-length-aware roofline model of §5.1.
+
+    Three families of ceilings bound the attainable performance of a phase
+    running with [vl] granules (1 granule = 1 ExeBU = 128 bits):
+
+    - computation: [FP_peak(vl) = flops_per_granule_cycle * vl];
+    - SIMD issue bandwidth (Equation 2):
+      [SIMD-Issue_BW(vl) = issue_width * vl * 16] bytes/cycle — when a core
+      holds few lanes, its ld/st data path is narrower than the L2
+      bandwidth and *issue* becomes the memory bottleneck;
+    - memory bandwidth of the chosen hierarchy level (vl-independent).
+
+    Attainable performance (Equation 4):
+      [AP_vl(oi) = min(FP_peak(vl),
+                       SIMD-Issue_BW(vl) * oi.issue,
+                       mem_BW(level) * oi.mem)]
+
+    Units: flops per cycle. The paper's Table 5 labels the same quantities
+    GFLOPs/s; at its 2GHz clock one flop/cycle is 2 GFLOPs/s, so only the
+    scale differs, not the crossovers. With the defaults below, the
+    reproduction of Table 5 places the issue-to-memory crossover for
+    WL8.p1 (oi_issue ~ 1/6, oi_mem = 0.25, L2-resident) at 12 f32 lanes,
+    exactly as the paper reports. *)
+
+type cfg = {
+  flops_per_granule_cycle : float;
+      (** FP peak of one ExeBU: 2 pipes x 4 f32 x 1 flop = 8 *)
+  issue_width : float;  (** vector memory uops dispatched per cycle (2) *)
+  mem_bw : Occamy_mem.Level.t -> float;  (** bytes/cycle of a level *)
+}
+
+let default_cfg =
+  {
+    flops_per_granule_cycle = 8.0;
+    issue_width = 2.0;
+    mem_bw =
+      (fun level ->
+        let h = Occamy_mem.Hierarchy.default_config in
+        match level with
+        | Occamy_mem.Level.Vec_cache -> h.vc_bytes_per_cycle
+        | Occamy_mem.Level.L2 -> h.l2_bytes_per_cycle
+        | Occamy_mem.Level.Dram -> h.dram_bytes_per_cycle);
+  }
+
+let fp_peak cfg ~vl = cfg.flops_per_granule_cycle *. float_of_int vl
+
+(** Equation (2): bytes/cycle the ld/st data path can request at width
+    [vl]. *)
+let simd_issue_bw cfg ~vl =
+  cfg.issue_width *. float_of_int vl
+  *. float_of_int Occamy_isa.Lane.bytes_per_granule
+
+(** Equation (4): attainable flops/cycle for a phase with intensity [oi]
+    whose footprint is served from [level]. *)
+let attainable cfg ~vl ~oi ~level =
+  if vl <= 0 then 0.0
+  else
+    let comp = fp_peak cfg ~vl in
+    let issue = simd_issue_bw cfg ~vl *. oi.Occamy_isa.Oi.issue in
+    let mem = cfg.mem_bw level *. oi.Occamy_isa.Oi.mem in
+    Float.min comp (Float.min issue mem)
+
+(** Which ceiling binds at width [vl]. *)
+type bound = Compute_bound | Issue_bound | Memory_bound
+
+let binding cfg ~vl ~oi ~level =
+  let comp = fp_peak cfg ~vl in
+  let issue = simd_issue_bw cfg ~vl *. oi.Occamy_isa.Oi.issue in
+  let mem = cfg.mem_bw level *. oi.Occamy_isa.Oi.mem in
+  (* Ties resolve towards the width-independent ceiling: once issue
+     bandwidth has caught up with the memory ceiling, more lanes stop
+     helping, which is "memory bound" in the paper's Table 5 reading. *)
+  if mem <= comp && mem <= issue then Memory_bound
+  else if issue <= comp then Issue_bound
+  else Compute_bound
+
+let bound_name = function
+  | Compute_bound -> "compute"
+  | Issue_bound -> "simd-issue"
+  | Memory_bound -> "memory"
+
+(** Net performance gain of granting one more granule (Equation 3). *)
+let net_perf_gain cfg ~vl ~oi ~level =
+  attainable cfg ~vl:(vl + 1) ~oi ~level -. attainable cfg ~vl ~oi ~level
+
+(** Smallest width achieving the phase's saturated performance — the
+    "just enough lanes" number discussed in §7.4 Case 1. *)
+let saturation_vl cfg ~max_vl ~oi ~level =
+  let target = attainable cfg ~vl:max_vl ~oi ~level in
+  let rec go vl =
+    if vl >= max_vl then max_vl
+    else if attainable cfg ~vl ~oi ~level >= target -. 1e-9 then vl
+    else go (vl + 1)
+  in
+  go 1
+
+(** The rows of Table 5: per-vl (SIMDIssueBound, MemBound, CompBound,
+    Performance), in flops/cycle. *)
+let table5_row cfg ~vl ~oi ~level =
+  ( simd_issue_bw cfg ~vl *. oi.Occamy_isa.Oi.issue,
+    cfg.mem_bw level *. oi.Occamy_isa.Oi.mem,
+    fp_peak cfg ~vl,
+    attainable cfg ~vl ~oi ~level )

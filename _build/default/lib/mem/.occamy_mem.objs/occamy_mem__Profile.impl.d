@@ -1,0 +1,1 @@
+lib/mem/profile.ml: Float Fmt Level Occamy_util

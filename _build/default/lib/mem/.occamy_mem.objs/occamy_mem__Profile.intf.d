@@ -1,0 +1,1 @@
+lib/mem/profile.mli: Format Level Occamy_util

@@ -1,0 +1,48 @@
+(** A bandwidth-limited transfer channel.
+
+    Each level of the hierarchy owns one channel shared by all cores; a
+    request occupies the channel for [bytes / bytes_per_cycle] cycles
+    starting no earlier than both the request time and the end of the
+    previous occupancy. This token-bucket model is what makes co-running
+    workloads contend for L2/DRAM bandwidth, the effect underlying the
+    paper's memory-bandwidth roofline ceilings (§5.1). *)
+
+type t = {
+  name : string;
+  bytes_per_cycle : float;
+  mutable next_free : float;   (* cycle at which the channel frees up *)
+  mutable busy_cycles : float; (* total occupancy, for utilisation stats *)
+  mutable bytes_moved : float;
+}
+
+let create ~name ~bytes_per_cycle =
+  if bytes_per_cycle <= 0.0 then invalid_arg "Channel.create: bandwidth <= 0";
+  { name; bytes_per_cycle; next_free = 0.0; busy_cycles = 0.0; bytes_moved = 0.0 }
+
+let reset t =
+  t.next_free <- 0.0;
+  t.busy_cycles <- 0.0;
+  t.bytes_moved <- 0.0
+
+(** [request t ~now ~bytes] books a transfer and returns the cycle at which
+    the last byte has moved through the channel. *)
+let request t ~now ~bytes =
+  if bytes < 0.0 then invalid_arg "Channel.request: negative size";
+  let start = Float.max now t.next_free in
+  let occupancy = bytes /. t.bytes_per_cycle in
+  t.next_free <- start +. occupancy;
+  t.busy_cycles <- t.busy_cycles +. occupancy;
+  t.bytes_moved <- t.bytes_moved +. bytes;
+  t.next_free
+
+(** Would a request issued [now] start immediately (no queueing)? *)
+let is_free t ~now = t.next_free <= now
+
+let bytes_per_cycle t = t.bytes_per_cycle
+let busy_cycles t = t.busy_cycles
+let bytes_moved t = t.bytes_moved
+let name t = t.name
+
+(** Average bandwidth utilisation over [cycles]. *)
+let utilisation t ~cycles =
+  if cycles <= 0.0 then 0.0 else Float.min 1.0 (t.busy_cycles /. cycles)

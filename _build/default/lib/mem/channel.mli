@@ -1,0 +1,23 @@
+(** A bandwidth-limited transfer channel shared by all cores: requests
+    occupy it for [bytes / bytes_per_cycle] cycles, serialised. This is
+    the mechanism behind the memory-bandwidth roofline ceilings (§5.1) and
+    inter-core memory contention. *)
+
+type t
+
+val create : name:string -> bytes_per_cycle:float -> t
+val reset : t -> unit
+
+val request : t -> now:float -> bytes:float -> float
+(** Book a transfer; returns the cycle its last byte has moved. *)
+
+val is_free : t -> now:float -> bool
+(** Would a request at [now] start without queueing? *)
+
+val bytes_per_cycle : t -> float
+val busy_cycles : t -> float
+val bytes_moved : t -> float
+val name : t -> string
+
+val utilisation : t -> cycles:float -> float
+(** Average occupancy over [cycles], capped at 1. *)

@@ -1,0 +1,109 @@
+(** The co-processor-facing memory hierarchy of Figure 4 / Table 4:
+
+      RegFile <-> VecCache (128KB, 5-cycle) <-> shared L2 (8MB, 18-cycle)
+              <-> DRAM (4GB, 64GB/s = 32B/cycle at 2GHz)
+
+    An access served at level L occupies the channels of every level from
+    the vector cache down to L (a miss moves the line through each), and
+    completes after the levels' summed latencies plus any queueing delay.
+    All cores share these channels, which is where inter-core memory
+    contention arises. *)
+
+type config = {
+  vc_latency : int;
+  vc_bytes_per_cycle : float;
+  l2_latency : int;
+  l2_bytes_per_cycle : float;
+  dram_latency : int;
+  dram_bytes_per_cycle : float;
+}
+
+(** Table 4 parameters (bandwidths are per cycle at 2GHz; DRAM 64GB/s =
+    32B/cycle; L2 64B/cycle and VecCache 128B/cycle per Figure 7(b)). *)
+let default_config =
+  {
+    vc_latency = 5;
+    (* Figure 5: 4 x 64B/cycle between the register file and VecCache. *)
+    vc_bytes_per_cycle = 256.0;
+    l2_latency = 18;
+    l2_bytes_per_cycle = 64.0;
+    dram_latency = 40;
+    dram_bytes_per_cycle = 32.0;
+  }
+
+type t = {
+  cfg : config;
+  vc : Channel.t;
+  l2 : Channel.t;
+  dram : Channel.t;
+  mutable accesses : int;
+  mutable by_level : int array;  (* indexed by Level.depth *)
+}
+
+let create ?(cfg = default_config) () =
+  {
+    cfg;
+    vc = Channel.create ~name:"VecCache" ~bytes_per_cycle:cfg.vc_bytes_per_cycle;
+    l2 = Channel.create ~name:"L2" ~bytes_per_cycle:cfg.l2_bytes_per_cycle;
+    dram = Channel.create ~name:"DRAM" ~bytes_per_cycle:cfg.dram_bytes_per_cycle;
+    accesses = 0;
+    by_level = Array.make 3 0;
+  }
+
+let reset t =
+  Channel.reset t.vc;
+  Channel.reset t.l2;
+  Channel.reset t.dram;
+  t.accesses <- 0;
+  t.by_level <- Array.make 3 0
+
+let latency_to t level =
+  match level with
+  | Level.Vec_cache -> t.cfg.vc_latency
+  | Level.L2 -> t.cfg.vc_latency + t.cfg.l2_latency
+  | Level.Dram -> t.cfg.vc_latency + t.cfg.l2_latency + t.cfg.dram_latency
+
+(** [access t ~now ~level ~bytes] books the transfer of [bytes] served at
+    [level] and returns the completion cycle.
+
+    [prefetched] models a unit-stride stream prefetcher: the line was
+    requested ahead of time, so the access still *occupies the bandwidth*
+    of every level down to [level] but the consumer only observes the
+    vector-cache latency. Streaming vectorized loops are exactly the
+    prefetcher's best case; this is what makes memory-intensive phases
+    bandwidth-bound rather than latency-bound, the premise of the paper's
+    roofline-based lane manager (§5.1). *)
+let access ?(prefetched = false) t ~now ~level ~bytes =
+  t.accesses <- t.accesses + 1;
+  t.by_level.(Level.depth level) <- t.by_level.(Level.depth level) + 1;
+  let now = float_of_int now in
+  let bytes = float_of_int bytes in
+  let t_vc = Channel.request t.vc ~now ~bytes in
+  let t_done =
+    match level with
+    | Level.Vec_cache -> t_vc
+    | Level.L2 -> Channel.request t.l2 ~now:t_vc ~bytes
+    | Level.Dram ->
+      let t_l2 = Channel.request t.l2 ~now:t_vc ~bytes in
+      Channel.request t.dram ~now:t_l2 ~bytes
+  in
+  let observed_latency =
+    if prefetched then t.cfg.vc_latency else latency_to t level
+  in
+  int_of_float (Float.ceil t_done) + observed_latency
+
+(** Peak bandwidth (bytes/cycle) of a level, for the roofline model. *)
+let bandwidth_of t level =
+  match level with
+  | Level.Vec_cache -> t.cfg.vc_bytes_per_cycle
+  | Level.L2 -> t.cfg.l2_bytes_per_cycle
+  | Level.Dram -> t.cfg.dram_bytes_per_cycle
+
+let accesses t = t.accesses
+let accesses_at t level = t.by_level.(Level.depth level)
+let config t = t.cfg
+let channel t level =
+  match level with
+  | Level.Vec_cache -> t.vc
+  | Level.L2 -> t.l2
+  | Level.Dram -> t.dram

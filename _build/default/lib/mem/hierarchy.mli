@@ -1,0 +1,34 @@
+(** The co-processor-facing memory hierarchy of Figure 4 / Table 4:
+    RegFile <-> VecCache <-> shared L2 <-> DRAM, each level a shared
+    bandwidth channel plus a latency. *)
+
+type config = {
+  vc_latency : int;
+  vc_bytes_per_cycle : float;
+  l2_latency : int;
+  l2_bytes_per_cycle : float;
+  dram_latency : int;
+  dram_bytes_per_cycle : float;
+}
+
+val default_config : config
+(** Table 4: VecCache 5 cycles / 256B per cycle (Figure 5's 4 x 64B), L2
+    18 cycles / 64B, DRAM +40 cycles / 32B (64GB/s at 2GHz). *)
+
+type t
+
+val create : ?cfg:config -> unit -> t
+val reset : t -> unit
+
+val access : ?prefetched:bool -> t -> now:int -> level:Level.t -> bytes:int -> int
+(** Book a transfer served at [level]; returns its completion cycle. A
+    [prefetched] access (unit-stride stream) still charges every channel's
+    bandwidth but only exposes the vector-cache latency — this is what
+    makes streaming phases bandwidth-bound, the premise of §5.1. *)
+
+val latency_to : t -> Level.t -> int
+val bandwidth_of : t -> Level.t -> float
+val accesses : t -> int
+val accesses_at : t -> Level.t -> int
+val config : t -> config
+val channel : t -> Level.t -> Channel.t

@@ -1,0 +1,14 @@
+(** Levels of the memory hierarchy seen by the SIMD co-processor
+    (Figure 4): the 128KB vector cache, the 8MB shared unified L2, and
+    DRAM. *)
+
+type t = Vec_cache | L2 | Dram
+
+let all = [ Vec_cache; L2; Dram ]
+
+let name = function Vec_cache -> "VecCache" | L2 -> "L2" | Dram -> "DRAM"
+let pp ppf t = Fmt.string ppf (name t)
+let equal (a : t) b = a = b
+
+(** Hierarchy order: 0 closest to the register file. *)
+let depth = function Vec_cache -> 0 | L2 -> 1 | Dram -> 2

@@ -1,0 +1,12 @@
+(** Memory-hierarchy levels visible to the co-processor (Figure 4): the
+    vector cache, the shared unified L2, and DRAM. *)
+
+type t = Vec_cache | L2 | Dram
+
+val all : t list
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val depth : t -> int
+(** 0 closest to the register file. *)

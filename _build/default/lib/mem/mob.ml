@@ -1,0 +1,64 @@
+(** Memory Ordering Buffer (§4.1.2).
+
+    The MOB "tracks the memory regions within which at least one SVE ld/st
+    instruction has not yet completed". Scalar cores consult it to order
+    scalar accesses against in-flight vector accesses (Table 2's
+    ⟨SVE, Scalar⟩ row): a younger access overlapping a tracked region must
+    wait until the matching entries are deallocated.
+
+    Regions are (array, base element, length) triples; completion
+    deallocates. The structure is per-machine (addresses are global). *)
+
+type entry = {
+  id : int;
+  core : int;
+  arr : int;
+  base : int;
+  len : int;
+  is_store : bool;
+}
+
+type t = {
+  capacity : int;
+  mutable next_id : int;
+  mutable entries : entry list;
+}
+
+let create ?(capacity = 64) () = { capacity; next_id = 0; entries = [] }
+
+let size t = List.length t.entries
+let is_full t = size t >= t.capacity
+
+(** [insert] registers an in-flight vector access; returns its id, or
+    [None] when the MOB is full (the LSU must stall the access). *)
+let insert t ~core ~arr ~base ~len ~is_store =
+  if len < 0 || base < 0 then invalid_arg "Mob.insert: bad region";
+  if is_full t then None
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.entries <- { id; core; arr; base; len; is_store } :: t.entries;
+    Some id
+  end
+
+let remove t id = t.entries <- List.filter (fun e -> e.id <> id) t.entries
+
+let ranges_overlap b1 l1 b2 l2 = b1 < b2 + l2 && b2 < b1 + l1
+
+(** Does a (read) access to [arr.[base..base+len)] conflict with any
+    in-flight entry? Reads conflict only with in-flight stores; writes
+    conflict with everything. *)
+let conflicts t ~arr ~base ~len ~is_store =
+  List.exists
+    (fun e ->
+      e.arr = arr
+      && ranges_overlap e.base e.len base len
+      && (is_store || e.is_store))
+    t.entries
+
+(** Entries belonging to a core, used to decide whether its SIMD ld/st
+    pipeline has drained. *)
+let outstanding_of t ~core =
+  List.length (List.filter (fun e -> e.core = core) t.entries)
+
+let clear t = t.entries <- []

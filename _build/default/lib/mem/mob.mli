@@ -1,0 +1,22 @@
+(** Memory Ordering Buffer (§4.1.2): tracks the regions of in-flight
+    vector memory accesses so younger overlapping accesses can be held
+    back (Table 2's ordering rows involving SVE ld/st). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val is_full : t -> bool
+
+val insert :
+  t -> core:int -> arr:int -> base:int -> len:int -> is_store:bool ->
+  int option
+(** Register an in-flight access; [None] when full (stall). *)
+
+val remove : t -> int -> unit
+
+val conflicts : t -> arr:int -> base:int -> len:int -> is_store:bool -> bool
+(** Reads conflict with in-flight stores; writes with everything. *)
+
+val outstanding_of : t -> core:int -> int
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/util/bounded_queue.mli:

@@ -1,0 +1,28 @@
+(** A FIFO with a hard capacity, used for instruction pools and load/store
+    queues where structural back-pressure matters. *)
+
+type 'a t = { capacity : int; q : 'a Queue.t }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Bounded_queue.create: capacity <= 0";
+  { capacity; q = Queue.create () }
+
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let is_full t = Queue.length t.q >= t.capacity
+let capacity t = t.capacity
+
+(** [push t x] enqueues and reports whether there was room. *)
+let push t x =
+  if is_full t then false
+  else begin
+    Queue.push x t.q;
+    true
+  end
+
+let peek_opt t = Queue.peek_opt t.q
+let pop t = Queue.pop t.q
+let pop_opt t = Queue.take_opt t.q
+let clear t = Queue.clear t.q
+let iter f t = Queue.iter f t.q
+let fold f init t = Queue.fold f init t.q

@@ -1,0 +1,23 @@
+(** A FIFO with a hard capacity, for structures where back-pressure
+    matters (instruction pools, load/store queues). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** Enqueue; [false] when full (the element is dropped). *)
+
+val peek_opt : 'a t -> 'a option
+
+val pop : 'a t -> 'a
+(** Dequeue; raises [Queue.Empty] when empty. *)
+
+val pop_opt : 'a t -> 'a option
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b

@@ -1,0 +1,55 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the simulator (memory-level classification
+    of individual accesses, workload data initialisation, property-test
+    inputs built outside qcheck) draw from a [t] created from an explicit
+    seed, so that every experiment is reproducible run-to-run.
+
+    The generator is SplitMix64, which is small, fast, and has no global
+    state — important because several independent machines can be simulated
+    in one process (e.g. the four architectures of Figure 2 side by side). *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 step: returns 64 pseudo-random bits and advances the state. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [float t] is uniform in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to 62 bits so the value always fits in a non-negative native int. *)
+  let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  r mod bound
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+(** [bool t p] is true with probability [p]. *)
+let bool t p = float t < p
+
+(** [pick t arr] selects a uniformly random element of [arr]. *)
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+(** [split t] derives an independent generator, leaving [t] advanced. *)
+let split t =
+  let seed = Int64.to_int (next_int64 t) in
+  { state = Int64.of_int (seed lxor 0x5851F42D) }

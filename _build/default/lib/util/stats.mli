@@ -1,0 +1,44 @@
+(** Statistics helpers for the metrics layer: geometric means (the paper's
+    averages, §7.1), streaming accumulators, and fixed-width cycle
+    buckets for the per-1000-cycle timelines of Figures 2 and 14. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean over the positive entries; 0 when none. *)
+
+val min_max : float list -> float * float
+
+(** Streaming mean/variance/extrema (Welford's algorithm). *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** Fixed-width histogram over cycles. *)
+module Buckets : sig
+  type t
+
+  val create : width:int -> t
+  (** [width] cycles per bucket; must be positive. *)
+
+  val add : t -> cycle:int -> float -> unit
+  (** Accumulate one sample into the bucket containing [cycle]. *)
+
+  val rates : t -> float array
+  (** Per-bucket sums divided by the bucket width: per-cycle rates. *)
+
+  val averages : t -> float array
+  (** Per-bucket sample averages, trimmed to the last non-empty bucket. *)
+
+  val width : t -> int
+end

@@ -1,0 +1,1 @@
+lib/workloads/motivating.ml: Occamy_compiler Occamy_core Occamy_mem

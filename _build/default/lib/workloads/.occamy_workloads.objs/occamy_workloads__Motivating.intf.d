@@ -1,0 +1,1 @@
+lib/workloads/motivating.mli: Occamy_compiler Occamy_core

@@ -1,0 +1,1 @@
+lib/workloads/opencv.ml: Float List Occamy_compiler Occamy_core Occamy_isa Occamy_mem Occamy_util Printf

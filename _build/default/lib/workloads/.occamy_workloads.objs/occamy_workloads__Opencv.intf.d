@@ -1,0 +1,1 @@
+lib/workloads/opencv.mli: Occamy_compiler Occamy_core

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Float List Occamy_compiler Occamy_core Occamy_util Printf Synth

@@ -1,0 +1,1 @@
+lib/workloads/spec.mli: Occamy_compiler Occamy_core Synth

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: List Occamy_compiler Occamy_core Occamy_isa Opencv Printf Spec Synth

@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Float List Occamy_compiler Occamy_mem Printf

@@ -1,0 +1,1 @@
+lib/workloads/synth.mli: Occamy_compiler Occamy_isa Occamy_mem

@@ -1,0 +1,153 @@
+(** The evaluation suite: the 25 co-running pairs of §7.1 and the four
+    4-core groups of §7.6.
+
+    "In the case of a pair of memory- and compute-intensive workloads, we
+    assign the former to Core0 and the latter to Core1" — the pair labels
+    below follow Figure 10's x-axis, with the first workload placed on
+    Core0. *)
+
+module Workload = Occamy_core.Workload
+
+type source = Spec_wl of int | Opencv_wl of int
+
+type pair = {
+  label : string;
+  core0 : source;
+  core1 : source;
+  category : [ `Mem_mem | `Comp_comp | `Mem_comp ];
+}
+
+let spec_pair ?(category = `Mem_comp) a b =
+  {
+    label = Printf.sprintf "%d+%d" a b;
+    core0 = Spec_wl a;
+    core1 = Spec_wl b;
+    category;
+  }
+
+let ocv_pair ?(category = `Mem_comp) a b =
+  {
+    label = Printf.sprintf "%d+%d" a b;
+    core0 = Opencv_wl a;
+    core1 = Opencv_wl b;
+    category;
+  }
+
+(* Figure 10's x-axis: 16 SPEC pairs then 9 OpenCV pairs. §7.1: one
+   <memory, memory> (WL12+WL19, §7.4 case 3), two <compute, compute>
+   (WL9+WL13, §7.4 case 2, and 4+14). *)
+let spec_pairs =
+  [
+    spec_pair 1 13;
+    spec_pair 2 14;
+    spec_pair 3 4;
+    spec_pair 5 15;
+    spec_pair 6 16;
+    spec_pair 8 17;
+    spec_pair 7 18;
+    spec_pair 20 9;
+    spec_pair 21 17;
+    spec_pair 20 17;
+    spec_pair 10 16;
+    spec_pair 11 14;
+    spec_pair 22 15;
+    spec_pair ~category:`Comp_comp 4 14;
+    spec_pair ~category:`Comp_comp 9 13;
+    spec_pair ~category:`Mem_mem 12 19;
+  ]
+
+let opencv_pairs =
+  [
+    ocv_pair 6 1;
+    ocv_pair 2 1;
+    ocv_pair 7 3;
+    ocv_pair 8 3;
+    ocv_pair 9 4;
+    ocv_pair 10 4;
+    ocv_pair 11 5;
+    ocv_pair 12 5;
+    ocv_pair 11 1;
+  ]
+
+let pairs = spec_pairs @ opencv_pairs
+
+let source_name = function
+  | Spec_wl i -> Printf.sprintf "WL%d" i
+  | Opencv_wl i -> Printf.sprintf "OCV%d" i
+
+(** Compile a workload source. [tc_scale] shrinks trip counts uniformly
+    (tests use small scales; the benches run at 1.0). *)
+let compile ?options ?tc_scale = function
+  | Spec_wl i -> Spec.workload ?options ?tc_scale i
+  | Opencv_wl i -> Opencv.workload ?options ?tc_scale i
+
+let compile_pair ?options ?tc_scale p =
+  [ compile ?options ?tc_scale p.core0; compile ?options ?tc_scale p.core1 ]
+
+let find_pair label =
+  match List.find_opt (fun p -> p.label = label) pairs with
+  | Some p -> Some p
+  | None -> None
+
+(* §7.6: the four 4-core groups (memory-intensive workloads on Core0/1,
+   compute-intensive on Core2/3; the last group runs three memory
+   workloads and one compute workload). *)
+type group = { g_label : string; members : source list }
+
+let four_core_groups =
+  [
+    { g_label = "WL15+6+15+16";
+      members = [ Spec_wl 15; Spec_wl 6; Spec_wl 15; Spec_wl 16 ] };
+    { g_label = "WL21+20+17+17";
+      members = [ Spec_wl 21; Spec_wl 20; Spec_wl 17; Spec_wl 17 ] };
+    { g_label = "WL10+22+16+15";
+      members = [ Spec_wl 10; Spec_wl 22; Spec_wl 16; Spec_wl 15 ] };
+    { g_label = "WL7+19+20+14";
+      members = [ Spec_wl 7; Spec_wl 19; Spec_wl 20; Spec_wl 14 ] };
+  ]
+
+let compile_group ?options ?tc_scale g =
+  List.map (compile ?options ?tc_scale) g.members
+
+(** All Table 3 rows as (workload label, phase name, paper oi, analysed
+    oi) — the `table3` reproduction. *)
+let table3_rows () =
+  let spec_rows =
+    List.concat_map
+      (fun id ->
+        List.map
+          (fun s ->
+            ( Printf.sprintf "WL%d" id,
+              s.Synth.k_name,
+              s.Synth.k_oi,
+              (Synth.analysed_oi s).Occamy_isa.Oi.mem ))
+          (Spec.specs_of id))
+      Spec.ids
+  in
+  let paper_ocv_oi =
+    [
+      ("fitLine2D", 0.92); ("fitLine3D", 0.44); ("addWeight", 0.33);
+      ("compare", 0.25); ("rgb2xyz", 0.63); ("rgb2gray", 0.31);
+      ("rgb2ycrcb", 0.42); ("rgb2hsv", 1.83); ("calcDist3D", 0.875);
+      ("accProd", 0.17); ("dotProd", 0.25); ("normL1", 0.5);
+      ("normL2", 0.25); ("blend", 0.3);
+    ]
+  in
+  let ocv_rows =
+    List.concat_map
+      (fun id ->
+        List.map
+          (fun (l : Occamy_compiler.Loop_ir.t) ->
+            let paper =
+              match List.assoc_opt l.Occamy_compiler.Loop_ir.name paper_ocv_oi with
+              | Some v -> v
+              | None -> 0.0
+            in
+            ( Printf.sprintf "OCV%d" id,
+              l.Occamy_compiler.Loop_ir.name,
+              paper,
+              (Occamy_compiler.Analysis.oi_of l).Occamy_isa.Oi.mem ))
+          (Opencv.loops_of id))
+      Opencv.ids
+  in
+  spec_rows @ ocv_rows

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Float Hashtbl List Occamy_compiler Occamy_core Occamy_isa Occamy_util QCheck_alcotest

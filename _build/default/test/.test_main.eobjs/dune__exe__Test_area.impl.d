@@ -1,0 +1,1 @@
+test/test_area.ml: Alcotest Float Helpers List Occamy_core Printf

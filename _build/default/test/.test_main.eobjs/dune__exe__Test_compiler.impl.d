@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Helpers List Occamy_compiler Occamy_core Occamy_isa QCheck2

@@ -1,0 +1,1 @@
+test/test_coproc.ml: Alcotest Helpers List Occamy_coproc Occamy_isa Printf QCheck2

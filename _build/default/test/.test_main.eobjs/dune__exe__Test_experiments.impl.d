@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Helpers Lazy List Occamy_core Occamy_experiments Occamy_util Occamy_workloads Option Printf String

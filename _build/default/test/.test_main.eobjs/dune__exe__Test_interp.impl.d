@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Float Helpers Occamy_isa Printf

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Helpers List Occamy_isa

@@ -1,0 +1,1 @@
+test/test_lanemgr.ml: Alcotest Array Float Helpers List Occamy_isa Occamy_lanemgr Occamy_mem QCheck2

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Float Helpers List Occamy_mem Occamy_util Option QCheck2

@@ -1,0 +1,1 @@
+test/test_ordering.ml: Alcotest Array Helpers Occamy_core Occamy_isa Occamy_mem

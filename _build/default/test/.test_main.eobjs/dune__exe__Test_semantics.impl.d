@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Fmt Helpers List Occamy_compiler Occamy_isa Occamy_util Printexc QCheck2

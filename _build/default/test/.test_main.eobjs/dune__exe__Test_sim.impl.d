@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Helpers Lazy List Occamy_compiler Occamy_core Occamy_mem Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Helpers List Occamy_util QCheck2 String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Float Helpers List Occamy_compiler Occamy_core Occamy_isa Occamy_workloads Printf

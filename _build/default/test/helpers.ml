@@ -1,0 +1,83 @@
+(** Shared helpers for the test suites. *)
+
+module Loop_ir = Occamy_compiler.Loop_ir
+module Codegen = Occamy_compiler.Codegen
+module Reference = Occamy_compiler.Reference
+module Interp = Occamy_isa.Interp
+module Program = Occamy_isa.Program
+
+let check_float = Alcotest.(check (float 1e-6))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(** Allocate the memory image a loop list needs, filled deterministically
+    from [seed]; returns both a lookup function and the raw table. *)
+let fresh_memory ?(seed = 7) loops =
+  let rng = Occamy_util.Rng.create ~seed in
+  let plan = Codegen.array_plan loops in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, size) ->
+      let a =
+        Array.init size (fun _ -> Occamy_util.Rng.float rng *. 4.0 -. 2.0)
+      in
+      Hashtbl.replace tbl name a)
+    plan;
+  let mem name =
+    match Hashtbl.find_opt tbl name with
+    | Some a -> a
+    | None -> Alcotest.failf "no array %s" name
+  in
+  (mem, tbl)
+
+(** Load a memory image into a functional-interpreter state by array name. *)
+let load_memory interp (program : Program.t) mem =
+  Array.iter
+    (fun d ->
+      Interp.set_memory interp d.Program.arr_id
+        (Array.copy (mem d.Program.arr_name)))
+    program.Program.arrays
+
+(** Compare every array of the interpreter against the reference image.
+    [eps] tolerates reduction reassociation. *)
+let check_memory ?(eps = 1e-4) interp (program : Program.t) mem =
+  Array.iter
+    (fun d ->
+      let got = Interp.memory interp d.Program.arr_id in
+      let want = mem d.Program.arr_name in
+      Array.iteri
+        (fun i w ->
+          let g = got.(i) in
+          if Float.is_nan g then
+            Alcotest.failf "%s[%d] is NaN (poisoned value leaked)"
+              d.Program.arr_name i;
+          let scale = Float.max 1.0 (Float.abs w) in
+          if Float.abs (g -. w) /. scale > eps then
+            Alcotest.failf "%s[%d]: got %.9g, want %.9g" d.Program.arr_name i
+              g w)
+        want)
+    program.Program.arrays
+
+(** Run [loops] through the reference and through the compiled program
+    under [env], and compare memories. *)
+let run_and_compare ?options ?env ?eps ~name loops =
+  let wl =
+    Codegen.compile_workload ?options ~name ~kind:Occamy_core.Workload.Mixed
+      loops
+  in
+  let mem, _ = fresh_memory loops in
+  let interp = Interp.create ?env wl.Occamy_core.Workload.program in
+  load_memory interp wl.Occamy_core.Workload.program mem;
+  let stats = Interp.run interp in
+  Reference.run ~mem loops;
+  check_memory ?eps interp wl.Occamy_core.Workload.program mem;
+  (wl, stats)
+
+(** A simple axpy-like loop usable across tests. *)
+let axpy ?(name = "axpy") ?(trip_count = 100) () =
+  let open Loop_ir in
+  loop ~name ~trip_count
+    [ store "y" (fma "y".%[0] (param "alpha" 1.5) "x".%[0]) ]
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)

@@ -1,0 +1,188 @@
+module Instr = Occamy_isa.Instr
+module Reg = Occamy_isa.Reg
+module Vop = Occamy_isa.Vop
+module Oi = Occamy_isa.Oi
+module Sysreg = Occamy_isa.Sysreg
+module Program = Occamy_isa.Program
+module Interp = Occamy_isa.Interp
+module B = Program.Builder
+
+(* Build a tiny program: configure VL, load a, add a+a, store to b. *)
+let build_vec_add ~elems =
+  let b = B.create "vec_add" in
+  let a = B.declare_array b ~name:"a" ~size:elems in
+  let out = B.declare_array b ~name:"b" ~size:elems in
+  let cfg = B.fresh_label b "cfg" in
+  B.place_label b cfg;
+  B.emit b (Instr.Mrs (Reg.x 4, Sysreg.DECISION));
+  B.emit b (Instr.Msr (Sysreg.VL, Instr.Reg (Reg.x 4)));
+  B.emit b (Instr.Mrs (Reg.x 3, Sysreg.STATUS));
+  B.emit b (Instr.Bc (Instr.Ne, Reg.x 3, Instr.Imm 1, cfg));
+  (* i = 0; n = elems; k = min(vl*4, n - i) loop *)
+  B.emit b (Instr.Li (Reg.x 0, 0));
+  B.emit b (Instr.Li (Reg.x 1, elems));
+  B.emit b (Instr.Mrs (Reg.x 6, Sysreg.ZCR));
+  B.emit b (Instr.Iop (Instr.Muli, Reg.x 6, Reg.x 6, Instr.Imm 4));
+  let head = B.fresh_label b "head" in
+  let done_ = B.fresh_label b "done" in
+  B.place_label b head;
+  B.emit b (Instr.Bc (Instr.Ge, Reg.x 0, Instr.Reg (Reg.x 1), done_));
+  B.emit b (Instr.Iop (Instr.Subi, Reg.x 7, Reg.x 1, Instr.Reg (Reg.x 0)));
+  B.emit b (Instr.Mov (Reg.x 5, Reg.x 6));
+  B.emit b (Instr.Iop (Instr.Mini, Reg.x 5, Reg.x 5, Instr.Reg (Reg.x 7)));
+  B.emit b
+    (Instr.Vload { dst = Reg.v 0; arr = a; idx = Reg.x 0; cnt = Some (Reg.x 5) });
+  B.emit b (Instr.Vop { op = Vop.Add; dst = Reg.v 1; srcs = [ Reg.v 0; Reg.v 0 ]; cnt = None });
+  B.emit b
+    (Instr.Vstore { src = Reg.v 1; arr = out; idx = Reg.x 0; cnt = Some (Reg.x 5) });
+  B.emit b (Instr.Iop (Instr.Addi, Reg.x 0, Reg.x 0, Instr.Reg (Reg.x 5)));
+  B.emit b (Instr.B head);
+  B.place_label b done_;
+  B.emit b Instr.Halt;
+  (B.finish b, a, out)
+
+let test_vec_add_full_width () =
+  let elems = 37 (* deliberately not a multiple of any vector width *) in
+  let p, a, out = build_vec_add ~elems in
+  let t = Interp.create p in
+  let input = Array.init elems (fun i -> float_of_int i *. 0.5) in
+  Interp.set_memory t a input;
+  let stats = Interp.run t in
+  let got = Interp.memory t out in
+  Array.iteri
+    (fun i v -> Helpers.check_float (Printf.sprintf "b[%d]" i) (v *. 2.0) got.(i))
+    input;
+  Helpers.check_bool "executed instructions" true (stats.Interp.executed > 0);
+  Helpers.check_int "one reconfiguration" 1 stats.Interp.reconfigs
+
+let test_vec_add_narrow_env () =
+  (* Same program, but the environment only ever grants one granule. *)
+  let elems = 13 in
+  let p, a, out = build_vec_add ~elems in
+  let env =
+    {
+      (Interp.solo_env ~max_granules:8) with
+      Interp.request_vl = (fun ~current:_ l -> Some (min l 1));
+      decision = (fun () -> 1);
+    }
+  in
+  let t = Interp.create ~env p in
+  let input = Array.init elems (fun i -> float_of_int (i + 1)) in
+  Interp.set_memory t a input;
+  ignore (Interp.run t);
+  let got = Interp.memory t out in
+  Array.iteri
+    (fun i v -> Helpers.check_float (Printf.sprintf "b[%d]" i) (v *. 2.0) got.(i))
+    input
+
+let test_poison_on_reconfig () =
+  (* A register written before a reconfiguration must read as NaN after. *)
+  let b = B.create "poison" in
+  let out = B.declare_array b ~name:"o" ~size:4 in
+  B.emit b (Instr.Msr (Sysreg.VL, Instr.Imm 2));
+  B.emit b (Instr.Fli (Reg.f 0, 3.0));
+  B.emit b (Instr.Vdup (Reg.v 0, Reg.f 0));
+  B.emit b (Instr.Msr (Sysreg.VL, Instr.Imm 1));  (* shrink: poisons *)
+  B.emit b (Instr.Li (Reg.x 0, 0));
+  B.emit b (Instr.Li (Reg.x 5, 4));
+  B.emit b
+    (Instr.Vstore { src = Reg.v 0; arr = out; idx = Reg.x 0; cnt = Some (Reg.x 5) });
+  B.emit b Instr.Halt;
+  let p = B.finish b in
+  let t = Interp.create p in
+  ignore (Interp.run t);
+  let got = Interp.memory t out in
+  (* Active width after reconfig is 1 granule = 4 elems, but the data was
+     poisoned: the stored values must be NaN, not the stale 3.0. *)
+  Helpers.check_bool "poisoned" true (Float.is_nan got.(0))
+
+let test_vl_zero_faults () =
+  let b = B.create "novl" in
+  let _ = B.declare_array b ~name:"a" ~size:4 in
+  B.emit b (Instr.Vdup (Reg.v 0, Reg.f 0));
+  B.emit b Instr.Halt;
+  let t = Interp.create (B.finish b) in
+  Helpers.check_bool "fault on VL=0" true
+    (try
+       ignore (Interp.run t);
+       false
+     with Interp.Fault _ -> true)
+
+let test_out_of_bounds_faults () =
+  let b = B.create "oob" in
+  let a = B.declare_array b ~name:"a" ~size:4 in
+  B.emit b (Instr.Msr (Sysreg.VL, Instr.Imm 2));
+  B.emit b (Instr.Li (Reg.x 0, 2));
+  B.emit b (Instr.Vload { dst = Reg.v 0; arr = a; idx = Reg.x 0; cnt = None });
+  B.emit b Instr.Halt;
+  let t = Interp.create (B.finish b) in
+  Helpers.check_bool "fault out of bounds" true
+    (try
+       ignore (Interp.run t);
+       false
+     with Interp.Fault _ -> true)
+
+let test_status_spin_on_refusal () =
+  (* An environment refusing big requests: the program spins, then asks
+     for less. *)
+  let b = B.create "spin" in
+  let retry = B.fresh_label b "retry" in
+  B.emit b (Instr.Li (Reg.x 2, 8));
+  B.place_label b retry;
+  B.emit b (Instr.Msr (Sysreg.VL, Instr.Reg (Reg.x 2)));
+  B.emit b (Instr.Mrs (Reg.x 3, Sysreg.STATUS));
+  B.emit b (Instr.Iop (Instr.Subi, Reg.x 2, Reg.x 2, Instr.Imm 1));
+  B.emit b (Instr.Bc (Instr.Ne, Reg.x 3, Instr.Imm 1, retry));
+  B.emit b Instr.Halt;
+  let env =
+    {
+      (Interp.solo_env ~max_granules:8) with
+      Interp.request_vl = (fun ~current:_ l -> if l <= 3 then Some l else None);
+    }
+  in
+  let t = Interp.create ~env (B.finish b) in
+  let stats = Interp.run t in
+  Helpers.check_int "settled at 3 granules" 3 (Interp.vl t);
+  Helpers.check_int "five refusals" 5 stats.Interp.failed_requests
+
+let test_reduction_semantics () =
+  let b = B.create "red" in
+  let a = B.declare_array b ~name:"a" ~size:8 in
+  B.emit b (Instr.Msr (Sysreg.VL, Instr.Imm 2));
+  B.emit b (Instr.Li (Reg.x 0, 0));
+  B.emit b (Instr.Li (Reg.x 5, 8));
+  B.emit b
+    (Instr.Vload { dst = Reg.v 0; arr = a; idx = Reg.x 0; cnt = Some (Reg.x 5) });
+  B.emit b (Instr.Vred { op = Vop.Red.Sum; dst = Reg.f 1; src = Reg.v 0 });
+  B.emit b Instr.Halt;
+  let t = Interp.create (B.finish b) in
+  Interp.set_memory t a (Array.init 8 (fun i -> float_of_int (i + 1)));
+  ignore (Interp.run t);
+  Helpers.check_float "sum 1..8" 36.0 (Interp.freg t (Reg.f 1))
+
+let test_fuel_exhaustion () =
+  let b = B.create "inf" in
+  let l = B.fresh_label b "l" in
+  B.place_label b l;
+  B.emit b (Instr.B l);
+  let t = Interp.create (B.finish b) in
+  Helpers.check_bool "fuel fault" true
+    (try
+       ignore (Interp.run ~fuel:100 t);
+       false
+     with Interp.Fault _ -> true)
+
+let suites =
+  [
+    ( "interp",
+      [
+        Alcotest.test_case "vec add full width" `Quick test_vec_add_full_width;
+        Alcotest.test_case "vec add narrow env" `Quick test_vec_add_narrow_env;
+        Alcotest.test_case "poison on reconfig" `Quick test_poison_on_reconfig;
+        Alcotest.test_case "VL=0 faults" `Quick test_vl_zero_faults;
+        Alcotest.test_case "out of bounds faults" `Quick test_out_of_bounds_faults;
+        Alcotest.test_case "status spin on refusal" `Quick test_status_spin_on_refusal;
+        Alcotest.test_case "reduction" `Quick test_reduction_semantics;
+        Alcotest.test_case "fuel" `Quick test_fuel_exhaustion;
+      ] );
+  ]

@@ -1,0 +1,6 @@
+let () =
+  Alcotest.run "occamy"
+    (Test_util.suites @ Test_isa.suites @ Test_interp.suites @ Test_mem.suites
+   @ Test_coproc.suites @ Test_lanemgr.suites @ Test_compiler.suites
+   @ Test_semantics.suites @ Test_sim.suites @ Test_area.suites
+   @ Test_workloads.suites @ Test_experiments.suites @ Test_ordering.suites)

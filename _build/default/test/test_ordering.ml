@@ -1,0 +1,185 @@
+(* Behavioural tests of the Table-2 ordering rules and the §4.2.2 drain
+   semantics, at the instruction-stream level: hand-built programs that
+   exercise one ordering edge each, run on the timing simulator, asserting
+   the *observable* consequence (a `<VL>` change never overlaps in-flight
+   SVE work; EM-SIMD instructions execute in order; reductions wait for
+   the pipeline). *)
+
+module Instr = Occamy_isa.Instr
+module Reg = Occamy_isa.Reg
+module Vop = Occamy_isa.Vop
+module Oi = Occamy_isa.Oi
+module Sysreg = Occamy_isa.Sysreg
+module Program = Occamy_isa.Program
+module B = Program.Builder
+module Sim = Occamy_core.Sim
+module Arch = Occamy_core.Arch
+module Config = Occamy_core.Config
+module Metrics = Occamy_core.Metrics
+module Workload = Occamy_core.Workload
+module Profile = Occamy_mem.Profile
+
+(* Build a raw workload around a hand-written instruction sequence. The
+   phase metadata declares one phase (the Msr_oi below). *)
+let raw_workload ~name ~elems emit =
+  let b = B.create name in
+  let arr = B.declare_array b ~name:"data" ~size:elems in
+  B.emit b (Instr.Msr_oi (Oi.uniform 1.0));
+  let cfg = B.fresh_label b "cfg" in
+  B.place_label b cfg;
+  B.emit b (Instr.Mrs (Reg.x 4, Sysreg.DECISION));
+  B.emit b (Instr.Msr (Sysreg.VL, Instr.Reg (Reg.x 4)));
+  B.emit b (Instr.Mrs (Reg.x 3, Sysreg.STATUS));
+  B.emit b (Instr.Bc (Instr.Ne, Reg.x 3, Instr.Imm 1, cfg));
+  emit b arr;
+  B.emit b (Instr.Msr_oi Oi.zero);
+  let rel = B.fresh_label b "rel" in
+  B.place_label b rel;
+  B.emit b (Instr.Msr (Sysreg.VL, Instr.Imm 0));
+  B.emit b (Instr.Mrs (Reg.x 3, Sysreg.STATUS));
+  B.emit b (Instr.Bc (Instr.Ne, Reg.x 3, Instr.Imm 1, rel));
+  B.emit b Instr.Halt;
+  let program = B.finish b in
+  Workload.validate
+    {
+      Workload.wl_name = name;
+      program;
+      phases =
+        [
+          {
+            Workload.ph_name = name;
+            ph_oi = Oi.uniform 1.0;
+            ph_level = Occamy_mem.Level.Vec_cache;
+            ph_trip_count = elems;
+            ph_oi_writes = 1;
+          };
+        ];
+      kind = Workload.Mixed;
+      profiles = [| Profile.cache_resident |];
+    }
+
+let one_core_cfg = { Config.default with Config.cores = 1 }
+
+let run_solo wl = Sim.simulate ~cfg:one_core_cfg ~arch:Arch.Private [ wl ]
+
+(* ⟨SVE, EM-SIMD⟩: a `<VL>` write after a burst of long-latency vector
+   work must wait for the drain — its cost shows up as blocked cycles at
+   least as large as the longest outstanding latency. *)
+let test_vl_waits_for_drain () =
+  let wl =
+    raw_workload ~name:"drain" ~elems:64 (fun b arr ->
+        B.emit b (Instr.Li (Reg.x 0, 0));
+        for _ = 1 to 8 do
+          B.emit b
+            (Instr.Vload { dst = Reg.v 1; arr; idx = Reg.x 0; cnt = None })
+        done;
+        (* Immediately request a different vector length. *)
+        B.emit b (Instr.Msr (Sysreg.VL, Instr.Imm 1));
+        B.emit b (Instr.Mrs (Reg.x 3, Sysreg.STATUS)))
+  in
+  let r = run_solo wl in
+  let c = r.Metrics.cores.(0) in
+  Helpers.check_bool "drain cost visible" true
+    (c.Metrics.reconfig_blocked_cycles >= 5);
+  Helpers.check_int "three reconfigs (cfg, shrink, release)" 3
+    c.Metrics.reconfigs
+
+(* ⟨EM-SIMD, SVE⟩ via the compiler's status spin: a refused request must
+   not let subsequent SVE instructions run at the stale width. In the
+   timing sim a grant is immediate once drained, so we assert the
+   accounting instead: every successful `MSR <VL>` drains first, hence
+   in-flight work never spans a reconfiguration — checked every 1024
+   cycles by the simulator's own invariants; here we just confirm a
+   multi-reconfig program completes with consistent counters. *)
+let test_reconfig_counters_consistent () =
+  let wl =
+    raw_workload ~name:"counters" ~elems:64 (fun b arr ->
+        B.emit b (Instr.Li (Reg.x 0, 0));
+        for l = 1 to 4 do
+          B.emit b (Instr.Msr (Sysreg.VL, Instr.Imm l));
+          B.emit b
+            (Instr.Vload { dst = Reg.v 1; arr; idx = Reg.x 0; cnt = None });
+          B.emit b
+            (Instr.Vop
+               { op = Vop.Add; dst = Reg.v 2; srcs = [ Reg.v 1; Reg.v 1 ];
+                 cnt = None })
+        done)
+  in
+  let r = run_solo wl in
+  let c = r.Metrics.cores.(0) in
+  (* cfg + 4 explicit changes + release; the width-1..4 loads and adds all
+     execute (8 SVE instructions). *)
+  Helpers.check_int "reconfig count" 6 c.Metrics.reconfigs;
+  Helpers.check_int "compute issued" 4 c.Metrics.issued_compute;
+  Helpers.check_int "mem issued" 4 c.Metrics.issued_mem;
+  Helpers.check_int "no failures" 0 c.Metrics.failed_vl_requests
+
+(* ⟨SVE, Scalar⟩: a reduction's scalar consumer waits for the vector
+   pipeline; the Vred drain makes the dependent scalar store correct (the
+   value path is tested in the interpreter; here the timing side must not
+   deadlock and must account the wait). *)
+let test_vred_drains () =
+  let wl =
+    raw_workload ~name:"vred" ~elems:64 (fun b arr ->
+        B.emit b (Instr.Li (Reg.x 0, 0));
+        B.emit b (Instr.Vload { dst = Reg.v 1; arr; idx = Reg.x 0; cnt = None });
+        B.emit b
+          (Instr.Vop
+             { op = Vop.Mul; dst = Reg.v 2; srcs = [ Reg.v 1; Reg.v 1 ];
+               cnt = None });
+        B.emit b (Instr.Vred { op = Vop.Red.Sum; dst = Reg.f 0; src = Reg.v 2 });
+        (* Scalar consumer of the reduction result. *)
+        B.emit b (Instr.Fsw { fsrc = Reg.f 0; arr; idx = Reg.x 0 }))
+  in
+  let r = run_solo wl in
+  Helpers.check_bool "completed" true (r.Metrics.total_cycles > 0)
+
+(* Two cores hammering `MSR <VL>` concurrently: grants must conserve
+   lanes (the simulator checks the ResourceTbl invariant continuously). *)
+let test_concurrent_requests_conserve_lanes () =
+  let mk name =
+    raw_workload ~name ~elems:64 (fun b arr ->
+        B.emit b (Instr.Li (Reg.x 0, 0));
+        for l = 1 to 4 do
+          B.emit b (Instr.Msr (Sysreg.VL, Instr.Imm l));
+          B.emit b
+            (Instr.Vload { dst = Reg.v 1; arr; idx = Reg.x 0; cnt = None })
+        done)
+  in
+  let r = Sim.simulate ~arch:Arch.Occamy [ mk "a"; mk "b" ] in
+  Helpers.check_bool "both completed" true
+    (Array.for_all (fun c -> c.Metrics.finish > 0) r.Metrics.cores)
+
+(* The EM-SIMD data path is in order: a program that writes <VL> twice
+   back-to-back must end up at the second value's width (observable via
+   the elements a following full-width store touches — value-level, so
+   via the interpreter). *)
+let test_em_simd_in_order () =
+  let b = B.create "inorder" in
+  let arr = B.declare_array b ~name:"o" ~size:16 in
+  B.emit b (Instr.Msr (Sysreg.VL, Instr.Imm 4));
+  B.emit b (Instr.Msr (Sysreg.VL, Instr.Imm 2));
+  B.emit b (Instr.Fli (Reg.f 0, 9.0));
+  B.emit b (Instr.Vdup (Reg.v 0, Reg.f 0));
+  B.emit b (Instr.Li (Reg.x 0, 0));
+  B.emit b (Instr.Vstore { src = Reg.v 0; arr; idx = Reg.x 0; cnt = None });
+  B.emit b Instr.Halt;
+  let t = Occamy_isa.Interp.create (B.finish b) in
+  ignore (Occamy_isa.Interp.run t);
+  let o = Occamy_isa.Interp.memory t arr in
+  (* Width is 2 granules = 8 elements: o[0..8) written, o[8..) untouched. *)
+  Helpers.check_float "active element" 9.0 o.(7);
+  Helpers.check_float "inactive element untouched" 0.0 o.(8)
+
+let suites =
+  [
+    ( "ordering",
+      [
+        Alcotest.test_case "VL waits for drain" `Quick test_vl_waits_for_drain;
+        Alcotest.test_case "reconfig counters" `Quick test_reconfig_counters_consistent;
+        Alcotest.test_case "vred drains" `Quick test_vred_drains;
+        Alcotest.test_case "concurrent requests" `Quick
+          test_concurrent_requests_conserve_lanes;
+        Alcotest.test_case "EM-SIMD in order" `Quick test_em_simd_in_order;
+      ] );
+  ]
