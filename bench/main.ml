@@ -17,12 +17,54 @@ module Arch = Occamy_core.Arch
 module Config = Occamy_core.Config
 module E = Occamy_experiments
 
-let section_enabled =
-  let requested =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun s -> not (String.length s > 0 && s.[0] = '-'))
+let known_sections =
+  [ "table4"; "table3"; "fig2"; "table5"; "fig14"; "fig10"; "fig16"; "fig12";
+    "ablations"; "micro" ]
+
+let usage () =
+  Printf.eprintf "usage: bench [-j N] [%s]...\n%!"
+    (String.concat "|" known_sections)
+
+(* `-j N` / `-jN` / `--jobs N` selects the worker-domain count; the
+   OCCAMY_JOBS environment variable is the fallback, then the machine's
+   recommended domain count. Remaining arguments are section names. *)
+let jobs, requested =
+  let bad msg = Printf.eprintf "bench: %s\n%!" msg; usage (); exit 2 in
+  let parse_jobs s =
+    match int_of_string_opt s with
+    | Some j when j >= 1 -> j
+    | _ -> bad (Printf.sprintf "invalid job count %S" s)
   in
-  fun name -> requested = [] || List.mem name requested
+  let rec parse jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | ("-j" | "--jobs") :: n :: rest -> parse (Some (parse_jobs n)) acc rest
+    | [ ("-j" | "--jobs") ] -> bad "-j expects a count"
+    | s :: rest when String.length s > 2 && String.sub s 0 2 = "-j" ->
+      parse (Some (parse_jobs (String.sub s 2 (String.length s - 2)))) acc rest
+    | s :: rest when String.length s > 0 && s.[0] = '-' ->
+      ignore rest;
+      bad (Printf.sprintf "unknown option %S" s)
+    | s :: rest -> parse jobs (s :: acc) rest
+  in
+  let jobs, requested = parse None [] (List.tl (Array.to_list Sys.argv)) in
+  (* An unknown section name must fail loudly: silently running *nothing*
+     and still printing the success banner hid typos like `fig11`. *)
+  (match List.filter (fun s -> not (List.mem s known_sections)) requested with
+  | [] -> ()
+  | unknown ->
+    bad
+      (Printf.sprintf "unknown section%s %s; valid sections: %s"
+         (if List.length unknown > 1 then "s" else "")
+         (String.concat ", " unknown)
+         (String.concat " " known_sections)));
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Occamy_util.Domain_pool.jobs_from_env ()
+  in
+  (jobs, requested)
+
+let section_enabled name = requested = [] || List.mem name requested
 
 let timed name f =
   if section_enabled name then begin
@@ -49,13 +91,17 @@ let run_fig2 () =
 let run_table5 () = Table.print (E.Fig14.table5 ())
 
 let run_fig14 () =
-  Table.print (E.Fig14.lane_sweep_table ());
-  let corun = E.Fig14.run_corun () in
+  Table.print (E.Fig14.lane_sweep_table ~jobs ());
+  let corun = E.Fig14.run_corun ~jobs () in
   Table.print (E.Fig14.partition_timeline_table corun);
   Table.print (E.Fig14.issue_rate_table corun)
 
 let run_fig10 () =
-  let t = E.Fig10.run ~progress:(fun l -> Printf.printf "  running %s...\n%!" l) () in
+  let t =
+    E.Fig10.run ~jobs
+      ~progress:(fun l -> Printf.printf "  running %s...\n%!" l)
+      ()
+  in
   Table.print (E.Fig10.speedup_table t ~core:1);
   Table.print (E.Fig10.speedup_table t ~core:0);
   Table.print (E.Fig10.util_table t);
@@ -63,7 +109,7 @@ let run_fig10 () =
   Table.print (E.Fig10.overhead_table t)
 
 let run_ablations () =
-  List.iter Table.print (E.Ablations.all ())
+  List.iter Table.print (E.Ablations.all ~jobs ())
 
 let run_fig12 () =
   Table.print (E.Fig12.area_table ~cores:2 ());
@@ -71,7 +117,7 @@ let run_fig12 () =
   print_endline (E.Fig12.fts_overhead_note ())
 
 let run_fig16 () =
-  let runs = E.Fig16.run () in
+  let runs = E.Fig16.run ~jobs () in
   Table.print (E.Fig16.speedup_table runs)
 
 (* ------------------------------------------------------------------ *)
@@ -164,9 +210,12 @@ let run_micro () =
 
 let () =
   Printf.printf
-    "Occamy reproduction bench harness (machine: %d cores, %d lanes)\n"
+    "Occamy reproduction bench harness (machine: %d cores, %d lanes; %d \
+     worker domain%s)\n"
     Config.default.Config.cores
-    (Config.total_lanes Config.default);
+    (Config.total_lanes Config.default)
+    jobs
+    (if jobs = 1 then "" else "s");
   timed "table4" run_table4;
   timed "table3" run_table3;
   timed "fig2" run_fig2;

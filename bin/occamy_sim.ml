@@ -35,6 +35,22 @@ let arch_arg =
     & info [ "a"; "arch" ] ~docv:"ARCH"
         ~doc:"Architecture: private, fts, vls or occamy (default: all four).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "OCCAMY_JOBS")
+        ~doc:
+          "Worker domains for independent simulations (default: the \
+           machine's recommended domain count). 1 disables parallelism.")
+
+(* Resolve the -j/--jobs/OCCAMY_JOBS choice to a usable worker count. *)
+let resolve_jobs = function
+  | Some j when j >= 1 -> j
+  | Some _ -> 1
+  | None -> Occamy_util.Domain_pool.jobs_from_env ()
+
 let level_conv =
   let parse = function
     | "vc" | "veccache" -> Ok Occamy_mem.Level.Vec_cache
@@ -66,22 +82,21 @@ let print_result ?baseline (r : Metrics.t) =
       r.Metrics.cores
   | _ -> ()
 
-let run_archs ?cfg arch wls_of =
+let run_archs ?cfg ?jobs arch wls_of =
   let archs = match arch with Some a -> [ a ] | None -> Arch.all in
+  (* Compile once; the simulator treats workloads as read-only, so the
+     same compiled value feeds every (possibly concurrent) simulation. *)
+  let wls = wls_of () in
+  let results =
+    Occamy_util.Domain_pool.map ?jobs
+      (fun a -> (a, Sim.simulate ?cfg ~arch:a wls))
+      archs
+  in
   let baseline =
-    if List.mem Arch.Private archs && List.length archs > 1 then
-      Some (Sim.simulate ?cfg ~arch:Arch.Private (wls_of ()))
+    if List.length archs > 1 then List.assoc_opt Arch.Private results
     else None
   in
-  List.iter
-    (fun a ->
-      let r =
-        match (a, baseline) with
-        | Arch.Private, Some b -> b
-        | _ -> Sim.simulate ?cfg ~arch:a (wls_of ())
-      in
-      print_result ?baseline r)
-    archs
+  List.iter (fun (_, r) -> print_result ?baseline r) results
 
 (* ---------------- run ---------------------------------------------- *)
 
@@ -96,7 +111,7 @@ let run_cmd =
              $(b,occamy-sim list). Prefix with ocv: for the OpenCV pairs, \
              e.g. ocv:6+1.")
   in
-  let run pair arch =
+  let run pair arch jobs =
     let lookup label =
       if String.length label > 4 && String.sub label 0 4 = "ocv:" then
         let l = String.sub label 4 (String.length label - 4) in
@@ -112,20 +127,22 @@ let run_cmd =
       Fmt.pr "pair %s: %s on Core0, %s on Core1@." p.Suite.label
         (Suite.source_name p.Suite.core0)
         (Suite.source_name p.Suite.core1);
-      run_archs arch (fun () -> Suite.compile_pair p);
+      run_archs ~jobs:(resolve_jobs jobs) arch (fun () ->
+          Suite.compile_pair p);
       `Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a co-running workload pair")
-    Term.(ret (const run $ pair_arg $ arch_arg))
+    Term.(ret (const run $ pair_arg $ arch_arg $ jobs_arg))
 
 let motivating_cmd =
-  let run arch =
-    run_archs arch (fun () -> Occamy_workloads.Motivating.pair ())
+  let run arch jobs =
+    run_archs ~jobs:(resolve_jobs jobs) arch (fun () ->
+        Occamy_workloads.Motivating.pair ())
   in
   Cmd.v
     (Cmd.info "motivating" ~doc:"Run the Figure 2 motivating example")
-    Term.(const run $ arch_arg)
+    Term.(const run $ arch_arg $ jobs_arg)
 
 (* ---------------- list --------------------------------------------- *)
 
@@ -256,16 +273,17 @@ let export_cmd =
       & info [ "tc-scale" ] ~docv:"F"
           ~doc:"Trip-count scale for the 25-pair sweep (smaller = faster).")
   in
-  let run dir scale =
+  let run dir scale jobs =
     let files =
-      Occamy_experiments.Export.write_all ~dir ~tc_scale:scale ()
+      Occamy_experiments.Export.write_all ~dir ~tc_scale:scale
+        ~jobs:(resolve_jobs jobs) ()
     in
     List.iter (Fmt.pr "wrote %s@.") files
   in
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export figure data (timelines, pair series, Table 3) as CSV")
-    Term.(const run $ dir_arg $ scale_arg)
+    Term.(const run $ dir_arg $ scale_arg $ jobs_arg)
 
 (* ---------------- main --------------------------------------------- *)
 

@@ -1021,7 +1021,18 @@ let run t =
     bucket_width = t.bucket_width;
   }
 
-(** Convenience: build and run in one call. *)
+(** Convenience: build and run in one call.
+
+    [workloads] are read-only to the simulator: everything it mutates —
+    scalar registers, pools, ROBs, freelists, statistics — lives in
+    per-core state allocated by [create], and the per-run RNG is seeded
+    from [cfg.seed], never from global state. A compiled {!Workload.t}
+    can therefore be simulated any number of times, including
+    concurrently from several domains ({!Occamy_util.Domain_pool}), with
+    bit-identical results; the experiment runners rely on this to
+    compile each pair once and share it across the four architecture
+    simulations (see the "workload reuse" and "parallel determinism"
+    tests). *)
 let simulate ?cfg ?decisions ?context_switches ~arch workloads =
   let t = create ?cfg ?decisions ?context_switches ~arch workloads in
   run t

@@ -211,6 +211,10 @@ let context_switch () =
     [ Arch.Private; Arch.Occamy ];
   tbl
 
-let all () =
-  [ prefetcher (); monitor (); hoisting (); window_depth (); fts_vrf_depth ();
-    context_switch () ]
+(* Each ablation is an independent batch of simulations building its own
+   table; they parallelize as six coarse tasks, printed in fixed order. *)
+let all ?jobs () =
+  Occamy_util.Domain_pool.map ?jobs
+    (fun f -> f ())
+    [ prefetcher; monitor; hoisting; window_depth; fts_vrf_depth;
+      context_switch ]

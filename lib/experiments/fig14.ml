@@ -36,10 +36,35 @@ let sweep_phases () =
   | [ p1; p2 ], [ p3 ] -> [ ("WL20.p1", p1); ("WL20.p2", p2); ("WL17", p3) ]
   | _ -> invalid_arg "Fig14: unexpected WL20/WL17 shapes"
 
-(* (a): times normalized to the 4-lane (1-granule) run of each phase. *)
-let lane_sweep_table ?cfg () =
+(* (a): times normalized to the 4-lane (1-granule) run of each phase.
+   The 3 phases x 7 lane counts are 21 independent solo simulations; they
+   run as one flat task list on the domain pool and are regrouped into
+   rows afterwards. *)
+let lane_sweep_table ?cfg ?jobs () =
   let phases = sweep_phases () in
   let granules = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let times_by_phase =
+    let tasks =
+      List.concat_map
+        (fun (_, spec) -> List.map (fun g -> (spec, g)) granules)
+        phases
+    in
+    let times =
+      Occamy_util.Domain_pool.map ?jobs
+        (fun (spec, g) -> solo_time ?cfg spec ~granules:g)
+        tasks
+    in
+    (* Regroup the flat results into one row of |granules| per phase. *)
+    let per_row = List.length granules in
+    let rec rows = function
+      | [] -> []
+      | ts ->
+        let row = List.filteri (fun i _ -> i < per_row) ts in
+        let rest = List.filteri (fun i _ -> i >= per_row) ts in
+        row :: rows rest
+    in
+    List.combine (List.map fst phases) (rows times)
+  in
   let tbl =
     Table.create
       ~title:
@@ -51,26 +76,31 @@ let lane_sweep_table ?cfg () =
       ()
   in
   List.iter
-    (fun (label, spec) ->
-      let times = List.map (fun g -> solo_time ?cfg spec ~granules:g) granules in
+    (fun (label, times) ->
       let t0 = float_of_int (List.hd times) in
       Table.add_row tbl
         (label
         :: List.map (fun t -> Table.fcell (float_of_int t /. t0)) times))
-    phases;
+    times_by_phase;
   tbl
 
 (* The co-run itself. *)
 type corun = { results : (Arch.t * Metrics.t) list }
 
-let run_corun ?cfg () =
+let run_corun ?cfg ?jobs () =
   let pair =
     match Suite.find_pair "20+17" with
     | Some p -> p
     | None -> invalid_arg "Fig14: pair 20+17 missing from the suite"
   in
-  let wls () = Suite.compile_pair pair in
-  { results = List.map (fun a -> (a, Sim.simulate ?cfg ~arch:a (wls ()))) Arch.all }
+  (* Compiled once; the workloads are read-only to the simulator. *)
+  let wls = Suite.compile_pair pair in
+  {
+    results =
+      Occamy_util.Domain_pool.map ?jobs
+        (fun a -> (a, Sim.simulate ?cfg ~arch:a wls))
+        Arch.all;
+  }
 
 (* (b): lanes held by WL17 over time, per architecture. *)
 let partition_timeline_table t =

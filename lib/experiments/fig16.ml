@@ -14,18 +14,22 @@ type group_run = {
   results : (Arch.t * Metrics.t) list;
 }
 
-let run_group ?(cfg = Config.four_core) ?tc_scale g =
+(* As in Pair_run: compile the group once, share the read-only workloads
+   across the four architecture simulations. *)
+let run_group ?(cfg = Config.four_core) ?tc_scale ?jobs g =
+  let wls = Suite.compile_group ?tc_scale g in
   {
     group = g;
     results =
-      List.map
-        (fun arch ->
-          (arch, Sim.simulate ~cfg ~arch (Suite.compile_group ?tc_scale g)))
+      Occamy_util.Domain_pool.map ?jobs
+        (fun arch -> (arch, Sim.simulate ~cfg ~arch wls))
         Arch.all;
   }
 
-let run ?cfg ?tc_scale () =
-  List.map (run_group ?cfg ?tc_scale) Suite.four_core_groups
+let run ?cfg ?tc_scale ?jobs () =
+  Occamy_util.Domain_pool.map ?jobs
+    (run_group ?cfg ?tc_scale ~jobs:1)
+    Suite.four_core_groups
 
 let speedup_table group_runs =
   let tbl =

@@ -12,12 +12,16 @@ type t = {
   results : (Arch.t * Metrics.t) list;
 }
 
-let run_pair ?(cfg = Config.default) ?tc_scale pair =
+(* The pair is compiled exactly once and the same compiled workloads are
+   fed to all four architecture simulations (possibly concurrently):
+   Sim.simulate treats workloads as read-only, copying everything it
+   mutates into per-core state at creation — see the note on
+   [Sim.simulate] and the "workload reuse" test. *)
+let run_pair ?(cfg = Config.default) ?tc_scale ?jobs pair =
+  let wls = Suite.compile_pair ?tc_scale pair in
   let results =
-    List.map
-      (fun arch ->
-        let wls = Suite.compile_pair ?tc_scale pair in
-        (arch, Sim.simulate ~cfg ~arch wls))
+    Occamy_util.Domain_pool.map ?jobs
+      (fun arch -> (arch, Sim.simulate ~cfg ~arch wls))
       Arch.all
   in
   { pair; results }
@@ -55,12 +59,20 @@ let occamy_overhead ?(cfg = Config.default) t =
   in
   (fst sums /. float_of_int cores, snd sums /. float_of_int cores)
 
-(** Run every pair of the suite. [progress] is called with each label. *)
-let run_all ?cfg ?tc_scale ?(progress = fun _ -> ()) () =
-  List.map
+(** Run every pair of the suite on [jobs] domains (default:
+    {!Occamy_util.Domain_pool.recommended_jobs}; [1] runs sequentially
+    on the calling domain). Results are in suite order and bit-identical
+    whatever [jobs] is — every simulation seeds its own {!Occamy_util.Rng.t}.
+    [progress] is called with each label as its pair starts; under
+    [jobs > 1] the calls come from worker domains, possibly out of
+    order. *)
+let run_all ?cfg ?tc_scale ?jobs ?(progress = fun _ -> ()) () =
+  Occamy_util.Domain_pool.map ?jobs
     (fun pair ->
       progress pair.Suite.label;
-      run_pair ?cfg ?tc_scale pair)
+      (* Parallelism lives at the pair level; each task simulates its
+         four architectures sequentially. *)
+      run_pair ?cfg ?tc_scale ~jobs:1 pair)
     Suite.pairs
 
 (** Geometric means over a list of pair runs, per architecture/core. *)

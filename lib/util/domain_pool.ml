@@ -1,0 +1,71 @@
+(** Parallel map over OCaml 5 domains — see the interface for the
+    contract. The implementation is a flat work-stealing-free design:
+    one shared atomic cursor over the task array, grabbed in chunks so
+    that 25-element sweeps do not contend on every task, with results
+    and errors written into per-index slots (each slot has exactly one
+    writer, so no synchronisation beyond the cursor is needed). *)
+
+type error = { index : int; exn : exn; bt : Printexc.raw_backtrace }
+
+let recommended_jobs ?(cap = 16) () =
+  max 1 (min cap (Domain.recommended_domain_count ()))
+
+let jobs_from_env ?(var = "OCCAMY_JOBS") () =
+  match Sys.getenv_opt var with
+  | None | Some "" -> recommended_jobs ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> recommended_jobs ())
+
+(* Chunk size: enough chunks that the fastest worker can grab more work
+   than an even split would give it, few enough that the cursor is not
+   hammered per-task. *)
+let chunk_size ~tasks ~workers = max 1 (tasks / (workers * 4))
+
+let map_array ?jobs f tasks =
+  let n = Array.length tasks in
+  let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
+  if jobs < 1 then invalid_arg "Domain_pool.map: jobs must be >= 1";
+  if jobs = 1 || n <= 1 then Array.map f tasks
+  else begin
+    let workers = min jobs n in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let chunk = chunk_size ~tasks:n ~workers in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start >= n then continue_ := false
+        else
+          for i = start to min (start + chunk) n - 1 do
+            match f tasks.(i) with
+            | v -> results.(i) <- Some v
+            | exception exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              errors.(i) <- Some { index = i; exn; bt }
+          done
+      done
+    in
+    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    (* Deterministic failure: the lowest-index error wins. *)
+    Array.iter
+      (function
+        | Some e -> Printexc.raise_with_backtrace e.exn e.bt
+        | None -> ())
+      errors;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every slot written or an error raised *))
+      results
+  end
+
+let map ?jobs f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs -> Array.to_list (map_array ?jobs f (Array.of_list xs))

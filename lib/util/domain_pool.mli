@@ -1,0 +1,37 @@
+(** A small, dependency-free parallel map over OCaml 5 [Domain]s.
+
+    The evaluation harness is a sweep of independent simulations (25
+    pairs x 4 architectures, lane sweeps, ablations, 4-core groups);
+    every simulation draws from its own explicit {!Rng.t} seed, so the
+    tasks can run on any domain in any order and the results are still
+    bit-identical to a sequential run. This module provides exactly
+    that: a fixed pool of worker domains pulling chunks of tasks from a
+    shared counter, writing results into a pre-sized array so output
+    ordering is deterministic regardless of scheduling.
+
+    Guarantees:
+    - [map ~jobs:1 f xs] spawns no domains at all: it reduces to the
+      plain sequential [List.map f xs] (same for empty / single-task
+      inputs).
+    - Output order always matches input order, whatever [jobs] is.
+    - A task exception is captured (with its backtrace) and re-raised
+      on the calling domain after all workers join; when several tasks
+      fail, the one with the lowest input index wins, deterministically.
+    - [f] runs exactly once per element. *)
+
+val recommended_jobs : ?cap:int -> unit -> int
+(** [Domain.recommended_domain_count ()] capped at [cap] (default 16)
+    and floored at 1: the default worker count for the harness. *)
+
+val jobs_from_env : ?var:string -> unit -> int
+(** Worker count from the environment variable [var] (default
+    ["OCCAMY_JOBS"]); falls back to {!recommended_jobs} when the
+    variable is unset, empty, non-numeric, or < 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed on [min jobs
+    (length xs)] domains. [jobs] defaults to {!recommended_jobs}.
+    Raises [Invalid_argument] when [jobs < 1]. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array counterpart of {!map}. *)

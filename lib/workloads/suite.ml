@@ -75,9 +75,20 @@ let source_name = function
   | Spec_wl i -> Printf.sprintf "WL%d" i
   | Opencv_wl i -> Printf.sprintf "OCV%d" i
 
+(* Instrumentation: how many workload compilations have run in this
+   process. The experiment runners promise to compile each pair/group
+   exactly once per run (not once per architecture); the counter lets
+   tests enforce that. Atomic because runners compile from worker
+   domains. *)
+let compiles = Atomic.make 0
+let compile_count () = Atomic.get compiles
+let reset_compile_count () = Atomic.set compiles 0
+
 (** Compile a workload source. [tc_scale] shrinks trip counts uniformly
     (tests use small scales; the benches run at 1.0). *)
-let compile ?options ?tc_scale = function
+let compile ?options ?tc_scale src =
+  Atomic.incr compiles;
+  match src with
   | Spec_wl i -> Spec.workload ?options ?tc_scale i
   | Opencv_wl i -> Opencv.workload ?options ?tc_scale i
 

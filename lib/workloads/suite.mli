@@ -21,6 +21,12 @@ val compile :
   ?options:Occamy_compiler.Codegen.options -> ?tc_scale:float -> source ->
   Occamy_core.Workload.t
 
+val compile_count : unit -> int
+(** Process-wide number of {!compile} calls — a test hook for the
+    compile-once guarantee of the experiment runners. *)
+
+val reset_compile_count : unit -> unit
+
 val compile_pair :
   ?options:Occamy_compiler.Codegen.options -> ?tc_scale:float -> pair ->
   Occamy_core.Workload.t list

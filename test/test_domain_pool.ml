@@ -1,0 +1,87 @@
+(* Tests of the Domain-based parallel map layer: the contract is that
+   parallelism is invisible — same outputs, same order, same exceptions
+   as List.map — whatever the worker count. *)
+
+module Dp = Occamy_util.Domain_pool
+
+let test_empty () =
+  Helpers.check_bool "empty list" true (Dp.map ~jobs:4 (fun x -> x + 1) [] = []);
+  Helpers.check_bool "empty array" true
+    (Dp.map_array ~jobs:4 (fun x -> x + 1) [||] = [||])
+
+let test_jobs_exceed_tasks () =
+  (* More workers than tasks must still produce every result, in order. *)
+  Helpers.check_bool "8 jobs, 3 tasks" true
+    (Dp.map ~jobs:8 (fun x -> x * x) [ 1; 2; 3 ] = [ 1; 4; 9 ])
+
+let test_jobs1_sequential () =
+  (* jobs = 1 bypasses domain spawning entirely: every task runs on the
+     calling domain. *)
+  let self = Domain.self () in
+  let doms = Dp.map ~jobs:1 (fun _ -> Domain.self ()) (List.init 16 Fun.id) in
+  Helpers.check_bool "all on calling domain" true
+    (List.for_all (fun d -> d = self) doms)
+
+let test_order_determinism () =
+  let input = List.init 100 Fun.id in
+  let expected = List.map (fun i -> (7 * i) + 3) input in
+  for _ = 1 to 5 do
+    Helpers.check_bool "jobs=4 order matches input order" true
+      (Dp.map ~jobs:4 (fun i -> (7 * i) + 3) input = expected)
+  done
+
+let test_runs_each_task_once () =
+  let count = Atomic.make 0 in
+  let out =
+    Dp.map ~jobs:4
+      (fun i ->
+        Atomic.incr count;
+        i)
+      (List.init 37 Fun.id)
+  in
+  Helpers.check_int "every result present" 37 (List.length out);
+  Helpers.check_int "f ran once per task" 37 (Atomic.get count)
+
+let test_exception_propagation () =
+  (* A worker exception surfaces on the calling domain after the join;
+     with several failures the lowest input index wins deterministically. *)
+  let f i =
+    if i = 13 then failwith "boom13"
+    else if i = 57 then failwith "boom57"
+    else i
+  in
+  (match Dp.map ~jobs:4 f (List.init 100 Fun.id) with
+  | _ -> Alcotest.fail "expected a worker exception to propagate"
+  | exception Failure msg ->
+    Alcotest.(check string) "lowest-index error wins" "boom13" msg);
+  match Dp.map ~jobs:1 f (List.init 100 Fun.id) with
+  | _ -> Alcotest.fail "expected the sequential path to raise too"
+  | exception Failure msg ->
+    Alcotest.(check string) "sequential path same error" "boom13" msg
+
+let test_invalid_jobs () =
+  match Dp.map ~jobs:0 Fun.id [ 1; 2; 3 ] with
+  | _ -> Alcotest.fail "jobs=0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_recommended_jobs () =
+  let j = Dp.recommended_jobs () in
+  Helpers.check_bool "recommended >= 1" true (j >= 1);
+  Helpers.check_bool "recommended capped" true (j <= 16);
+  Helpers.check_int "cap applies" 1 (Dp.recommended_jobs ~cap:1 ())
+
+let suites =
+  [
+    ( "domain_pool",
+      [
+        Alcotest.test_case "empty input" `Quick test_empty;
+        Alcotest.test_case "jobs > tasks" `Quick test_jobs_exceed_tasks;
+        Alcotest.test_case "jobs=1 sequential" `Quick test_jobs1_sequential;
+        Alcotest.test_case "order determinism" `Quick test_order_determinism;
+        Alcotest.test_case "runs once per task" `Quick test_runs_each_task_once;
+        Alcotest.test_case "exception propagation" `Quick
+          test_exception_propagation;
+        Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
+        Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs;
+      ] );
+  ]
