@@ -22,31 +22,42 @@ let known_sections =
     "ablations"; "micro" ]
 
 let usage () =
-  Printf.eprintf "usage: bench [-j N] [%s]...\n%!"
+  Printf.eprintf "usage: bench [-j N] [--trace-dir DIR] [%s]...\n%!"
     (String.concat "|" known_sections)
 
 (* `-j N` / `-jN` / `--jobs N` selects the worker-domain count; the
    OCCAMY_JOBS environment variable is the fallback, then the machine's
-   recommended domain count. Remaining arguments are section names. *)
-let jobs, requested =
+   recommended domain count. `--trace-dir DIR` (or the OCCAMY_TRACE
+   environment variable) writes Chrome trace JSON for the traced
+   sections into DIR. Remaining arguments are section names. *)
+let jobs, trace_dir, requested =
   let bad msg = Printf.eprintf "bench: %s\n%!" msg; usage (); exit 2 in
   let parse_jobs s =
     match int_of_string_opt s with
     | Some j when j >= 1 -> j
     | _ -> bad (Printf.sprintf "invalid job count %S" s)
   in
-  let rec parse jobs acc = function
-    | [] -> (jobs, List.rev acc)
-    | ("-j" | "--jobs") :: n :: rest -> parse (Some (parse_jobs n)) acc rest
+  let rec parse jobs tdir acc = function
+    | [] -> (jobs, tdir, List.rev acc)
+    | ("-j" | "--jobs") :: n :: rest ->
+      parse (Some (parse_jobs n)) tdir acc rest
     | [ ("-j" | "--jobs") ] -> bad "-j expects a count"
+    | "--trace-dir" :: d :: rest -> parse jobs (Some d) acc rest
+    | [ "--trace-dir" ] -> bad "--trace-dir expects a directory"
     | s :: rest when String.length s > 2 && String.sub s 0 2 = "-j" ->
-      parse (Some (parse_jobs (String.sub s 2 (String.length s - 2)))) acc rest
+      parse (Some (parse_jobs (String.sub s 2 (String.length s - 2)))) tdir
+        acc rest
     | s :: rest when String.length s > 0 && s.[0] = '-' ->
       ignore rest;
       bad (Printf.sprintf "unknown option %S" s)
-    | s :: rest -> parse jobs (s :: acc) rest
+    | s :: rest -> parse jobs tdir (s :: acc) rest
   in
-  let jobs, requested = parse None [] (List.tl (Array.to_list Sys.argv)) in
+  let jobs, tdir, requested =
+    parse None None [] (List.tl (Array.to_list Sys.argv))
+  in
+  let tdir =
+    match tdir with Some _ -> tdir | None -> Sys.getenv_opt "OCCAMY_TRACE"
+  in
   (* An unknown section name must fail loudly: silently running *nothing*
      and still printing the success banner hid typos like `fig11`. *)
   (match List.filter (fun s -> not (List.mem s known_sections)) requested with
@@ -62,17 +73,60 @@ let jobs, requested =
     | Some j -> j
     | None -> Occamy_util.Domain_pool.jobs_from_env ()
   in
-  (jobs, requested)
+  (jobs, tdir, requested)
 
 let section_enabled name = requested = [] || List.mem name requested
+
+(* Machine-readable per-section timings, one JSON object per line,
+   appended so successive runs accumulate a history. *)
+let sections_json = "BENCH_sections.json"
+
+let record_section name seconds =
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 sections_json
+  in
+  Printf.fprintf oc
+    "{\"section\":\"%s\",\"seconds\":%.3f,\"jobs\":%d,\"unix_time\":%.0f}\n"
+    name seconds jobs (Unix.time ());
+  close_out oc
 
 let timed name f =
   if section_enabled name then begin
     Printf.printf "\n##### %s #####\n%!" name;
     let t0 = Unix.gettimeofday () in
     f ();
-    Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "[%s: %.1fs]\n%!" name dt;
+    record_section name dt
   end
+
+(* ------------------------------------------------------------------ *)
+(* Tracing (--trace-dir / OCCAMY_TRACE)                                *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Occamy_obs.Trace
+module Chrome_trace = Occamy_obs.Chrome_trace
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let trace_path dir file = Filename.concat dir file
+
+(* Traced re-run of the Figure 2 motivating pair, one Chrome JSON per
+   architecture. Cheap (the motivating pair is small), so it simply runs
+   when requested rather than piggy-backing on run_fig2's instances. *)
+let write_motivating_traces dir =
+  ensure_dir dir;
+  let wls = Occamy_workloads.Motivating.pair () in
+  List.iter
+    (fun arch ->
+      let trace = Trace.for_sim ~cores:Config.default.Config.cores () in
+      ignore (Occamy_core.Sim.simulate ~trace ~arch wls);
+      let path =
+        trace_path dir (Printf.sprintf "motivating_%s.json" (Arch.name arch))
+      in
+      Chrome_trace.write_json ~path trace;
+      Printf.printf "  wrote %s\n%!" path)
+    Arch.all
 
 (* ------------------------------------------------------------------ *)
 
@@ -86,7 +140,8 @@ let run_table3 () =
 let run_fig2 () =
   let t = E.Fig2.run () in
   Table.print (E.Fig2.stats_table t);
-  List.iter (fun arch -> Table.print (E.Fig2.timeline_table t arch)) Arch.all
+  List.iter (fun arch -> Table.print (E.Fig2.timeline_table t arch)) Arch.all;
+  Option.iter write_motivating_traces trace_dir
 
 let run_table5 () = Table.print (E.Fig14.table5 ())
 
@@ -97,8 +152,25 @@ let run_fig14 () =
   Table.print (E.Fig14.issue_rate_table corun)
 
 let run_fig10 () =
+  (* With tracing on, each Domain_pool worker records its pair tasks as
+     wall-clock spans on its own track — a Gantt of the sweep itself. *)
+  let sweep_trace =
+    Option.map (fun _ -> Trace.for_sweep ~workers:jobs ()) trace_dir
+  in
+  let observer =
+    Option.map
+      (fun trace ->
+        let labels =
+          Array.of_list
+            (List.map
+               (fun p -> p.Occamy_workloads.Suite.label)
+               Occamy_workloads.Suite.pairs)
+        in
+        Trace.sweep_observer trace ~label_of:(fun i -> labels.(i)))
+      sweep_trace
+  in
   let t =
-    E.Fig10.run ~jobs
+    E.Fig10.run ~jobs ?observer
       ~progress:(fun l -> Printf.printf "  running %s...\n%!" l)
       ()
   in
@@ -106,7 +178,17 @@ let run_fig10 () =
   Table.print (E.Fig10.speedup_table t ~core:0);
   Table.print (E.Fig10.util_table t);
   Table.print (E.Fig10.fts_stall_table t);
-  Table.print (E.Fig10.overhead_table t)
+  Table.print (E.Fig10.overhead_table t);
+  Option.iter
+    (fun dir ->
+      Option.iter
+        (fun trace ->
+          ensure_dir dir;
+          let path = trace_path dir "fig10_sweep.json" in
+          Chrome_trace.write_json ~path trace;
+          Printf.printf "  wrote %s\n%!" path)
+        sweep_trace)
+    trace_dir
 
 let run_ablations () =
   List.iter Table.print (E.Ablations.all ~jobs ())

@@ -35,20 +35,33 @@ let arch_arg =
     & info [ "a"; "arch" ] ~docv:"ARCH"
         ~doc:"Architecture: private, fts, vls or occamy (default: all four).")
 
+(* A worker count must be a positive integer; reject anything else
+   loudly (including via OCCAMY_JOBS) rather than silently running
+   sequentially. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some j when j >= 1 -> Ok j
+    | Some j ->
+      Error (`Msg (Printf.sprintf "invalid job count %d (must be >= 1)" j))
+    | None -> Error (`Msg (Printf.sprintf "invalid job count %S" s))
+  in
+  Arg.conv (parse, Fmt.int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some jobs_conv) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~env:(Cmd.Env.info "OCCAMY_JOBS")
         ~doc:
           "Worker domains for independent simulations (default: the \
-           machine's recommended domain count). 1 disables parallelism.")
+           machine's recommended domain count). 1 disables parallelism. \
+           Must be >= 1.")
 
 (* Resolve the -j/--jobs/OCCAMY_JOBS choice to a usable worker count. *)
 let resolve_jobs = function
-  | Some j when j >= 1 -> j
-  | Some _ -> 1
+  | Some j -> j
   | None -> Occamy_util.Domain_pool.jobs_from_env ()
 
 let level_conv =
@@ -82,21 +95,89 @@ let print_result ?baseline (r : Metrics.t) =
       r.Metrics.cores
   | _ -> ()
 
-let run_archs ?cfg ?jobs arch wls_of =
+(* ---------------- tracing ------------------------------------------ *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome/Perfetto trace-event JSON of the run to $(docv) \
+           (open in ui.perfetto.dev or chrome://tracing). With all four \
+           architectures, one file per architecture is written with the \
+           architecture name suffixed before the extension.")
+
+let trace_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-csv" ] ~docv:"FILE"
+        ~doc:"Write the raw cycle-stamped event log as CSV to $(docv).")
+
+let gantt_arg =
+  Arg.(
+    value & flag
+    & info [ "gantt" ]
+        ~doc:"Print an ASCII phase Gantt chart of the run per architecture.")
+
+(* Per-arch output path: a single-architecture run writes PATH exactly;
+   a multi-arch run writes out.json -> out.occamy.json etc. *)
+let arch_path path ~multi a =
+  if not multi then path
+  else
+    let name = Arch.name a in
+    match Filename.extension path with
+    | "" -> path ^ "." ^ name
+    | ext -> Filename.remove_extension path ^ "." ^ name ^ ext
+
+let run_archs ?cfg ?jobs ?(trace_json = None) ?(trace_csv = None)
+    ?(gantt = false) arch wls_of =
   let archs = match arch with Some a -> [ a ] | None -> Arch.all in
+  let multi = List.length archs > 1 in
+  let want_trace = trace_json <> None || trace_csv <> None || gantt in
+  let cores =
+    (match cfg with Some c -> c | None -> Config.default).Config.cores
+  in
   (* Compile once; the simulator treats workloads as read-only, so the
-     same compiled value feeds every (possibly concurrent) simulation. *)
+     same compiled value feeds every (possibly concurrent) simulation.
+     Each simulation owns its trace (created inside the worker), so
+     recording stays single-writer even under -j N. *)
   let wls = wls_of () in
   let results =
     Occamy_util.Domain_pool.map ?jobs
-      (fun a -> (a, Sim.simulate ?cfg ~arch:a wls))
+      (fun a ->
+        let trace =
+          if want_trace then Occamy_obs.Trace.for_sim ~cores ()
+          else Occamy_obs.Trace.disabled
+        in
+        (a, (Sim.simulate ?cfg ~trace ~arch:a wls, trace)))
       archs
   in
   let baseline =
-    if List.length archs > 1 then List.assoc_opt Arch.Private results
+    if multi then Option.map fst (List.assoc_opt Arch.Private results)
     else None
   in
-  List.iter (fun (_, r) -> print_result ?baseline r) results
+  List.iter (fun (_, (r, _)) -> print_result ?baseline r) results;
+  List.iter
+    (fun (a, (_, trace)) ->
+      Option.iter
+        (fun path ->
+          let path = arch_path path ~multi a in
+          Occamy_obs.Chrome_trace.write_json ~path trace;
+          Fmt.pr "wrote %s@." path)
+        trace_json;
+      Option.iter
+        (fun path ->
+          let path = arch_path path ~multi a in
+          Occamy_obs.Chrome_trace.write_csv ~path trace;
+          Fmt.pr "wrote %s@." path)
+        trace_csv;
+      if gantt then begin
+        if multi then Fmt.pr "@.== %a ==@." Arch.pp a;
+        print_string (Occamy_obs.Gantt.render trace)
+      end)
+    results
 
 (* ---------------- run ---------------------------------------------- *)
 
@@ -111,7 +192,7 @@ let run_cmd =
              $(b,occamy-sim list). Prefix with ocv: for the OpenCV pairs, \
              e.g. ocv:6+1.")
   in
-  let run pair arch jobs =
+  let run pair arch jobs trace_json trace_csv gantt =
     let lookup label =
       if String.length label > 4 && String.sub label 0 4 = "ocv:" then
         let l = String.sub label 4 (String.length label - 4) in
@@ -127,22 +208,26 @@ let run_cmd =
       Fmt.pr "pair %s: %s on Core0, %s on Core1@." p.Suite.label
         (Suite.source_name p.Suite.core0)
         (Suite.source_name p.Suite.core1);
-      run_archs ~jobs:(resolve_jobs jobs) arch (fun () ->
-          Suite.compile_pair p);
+      run_archs ~jobs:(resolve_jobs jobs) ~trace_json ~trace_csv ~gantt arch
+        (fun () -> Suite.compile_pair p);
       `Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a co-running workload pair")
-    Term.(ret (const run $ pair_arg $ arch_arg $ jobs_arg))
+    Term.(
+      ret
+        (const run $ pair_arg $ arch_arg $ jobs_arg $ trace_arg
+       $ trace_csv_arg $ gantt_arg))
 
 let motivating_cmd =
-  let run arch jobs =
-    run_archs ~jobs:(resolve_jobs jobs) arch (fun () ->
-        Occamy_workloads.Motivating.pair ())
+  let run arch jobs trace_json trace_csv gantt =
+    run_archs ~jobs:(resolve_jobs jobs) ~trace_json ~trace_csv ~gantt arch
+      (fun () -> Occamy_workloads.Motivating.pair ())
   in
   Cmd.v
     (Cmd.info "motivating" ~doc:"Run the Figure 2 motivating example")
-    Term.(const run $ arch_arg $ jobs_arg)
+    Term.(
+      const run $ arch_arg $ jobs_arg $ trace_arg $ trace_csv_arg $ gantt_arg)
 
 (* ---------------- list --------------------------------------------- *)
 
@@ -218,8 +303,9 @@ let roofline_cmd =
     let oi = Occamy_isa.Oi.make ~issue ~mem in
     let tbl =
       Table.create
-        ~title:(Fmt.str "Roofline for oi=%a at %a" Occamy_isa.Oi.pp oi
-                  Occamy_mem.Level.pp level)
+        ~title:(Fmt.str "Roofline for oi=%s at %s"
+                  (Occamy_isa.Oi.to_string oi)
+                  (Occamy_mem.Level.to_string level))
         ~header:[ "lanes"; "issue"; "mem"; "compute"; "AP"; "binding" ]
         ()
     in

@@ -15,10 +15,20 @@ type t = {
   mutable loads : entry list;
   mutable stores : entry list;
   mutable total_issued : int;
+  mutable peak_loads : int;
+  mutable peak_stores : int;
 }
 
 let create ?(load_capacity = 48) ?(store_capacity = 24) () =
-  { load_capacity; store_capacity; loads = []; stores = []; total_issued = 0 }
+  {
+    load_capacity;
+    store_capacity;
+    loads = [];
+    stores = [];
+    total_issued = 0;
+    peak_loads = 0;
+    peak_stores = 0;
+  }
 
 let can_accept t ~is_store =
   if is_store then List.length t.stores < t.store_capacity
@@ -27,7 +37,14 @@ let can_accept t ~is_store =
 let add t ~done_at ~is_store ~mob_id =
   if not (can_accept t ~is_store) then invalid_arg "Lsu.add: queue full";
   let e = { done_at; is_store; mob_id } in
-  if is_store then t.stores <- e :: t.stores else t.loads <- e :: t.loads;
+  if is_store then begin
+    t.stores <- e :: t.stores;
+    t.peak_stores <- max t.peak_stores (List.length t.stores)
+  end
+  else begin
+    t.loads <- e :: t.loads;
+    t.peak_loads <- max t.peak_loads (List.length t.loads)
+  end;
   t.total_issued <- t.total_issued + 1
 
 (** Remove completed entries; returns the MOB ids to deallocate. *)
@@ -43,4 +60,10 @@ let outstanding t = List.length t.loads + List.length t.stores
 let outstanding_loads t = List.length t.loads
 let outstanding_stores t = List.length t.stores
 let total_issued t = t.total_issued
+
+(** High-water occupancy marks: how much memory-level parallelism the
+    core actually extracted vs the capacity it was given. *)
+let peak_loads t = t.peak_loads
+
+let peak_stores t = t.peak_stores
 let is_drained t = t.loads = [] && t.stores = []

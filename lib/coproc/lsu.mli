@@ -16,5 +16,11 @@ val outstanding_loads : t -> int
 val outstanding_stores : t -> int
 val total_issued : t -> int
 
+val peak_loads : t -> int
+(** High-water load-queue occupancy — the memory-level parallelism the
+    core actually reached against [load_capacity]. *)
+
+val peak_stores : t -> int
+
 val is_drained : t -> bool
 (** No in-flight memory operations — part of the §4.2.2 drain condition. *)

@@ -33,6 +33,8 @@ type core_result = {
                                      last front-end slot (marginal cost) *)
   reconfigs : int;                (* successful <VL> changes *)
   failed_vl_requests : int;
+  lsu_peak_loads : int;           (* high-water LSU occupancy (MLP reached) *)
+  lsu_peak_stores : int;
   phases : phase_stat list;
   lanes_timeline : float array;   (* avg busy f32 lanes per bucket *)
   vl_timeline : float array;      (* avg granules held per bucket *)
@@ -45,6 +47,8 @@ type t = {
   busy_lane_cycles : float;       (* numerator of simd_util, lane-cycles *)
   replans : int;                  (* eager lane-partitioning events *)
   cores : core_result array;
+  mem_accesses : int array;       (* accesses served per level (Level.depth) *)
+  mem_bytes : float array;        (* bytes served per level (Level.depth) *)
   bucket_width : int;
 }
 
@@ -77,6 +81,65 @@ let overhead t ~frontend_width ~core =
   in
   let reconfig = float_of_int c.reconfig_blocked_cycles /. time in
   (monitoring, reconfig)
+
+(* ------------------------------------------------------------------ *)
+(* Named-counter view                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Counters = Occamy_obs.Counters
+
+(** Populate [reg] with every scalar quantity of [t] under dotted names:
+    run-level gauges under ["sim."], per-core counters under
+    ["core<i>."], per-level memory traffic under ["mem.<level>."], and
+    per-phase stats under ["core<i>.phase.<name>."]. Experiments and
+    tests read these by name ({!Counters.get}) instead of
+    pattern-matching this module's records. *)
+let populate_counters reg t =
+  let set = Counters.set reg and seti n v = Counters.set reg n (float_of_int v) in
+  set "sim.simd_util" t.simd_util;
+  set "sim.busy_lane_cycles" t.busy_lane_cycles;
+  seti "sim.total_cycles" t.total_cycles;
+  seti "sim.replans" t.replans;
+  seti "sim.cores" (Array.length t.cores);
+  List.iter
+    (fun level ->
+      let prefix =
+        "mem." ^ String.lowercase_ascii (Occamy_mem.Level.to_string level) ^ "."
+      in
+      seti (prefix ^ "accesses") t.mem_accesses.(Occamy_mem.Level.depth level);
+      set (prefix ^ "bytes") t.mem_bytes.(Occamy_mem.Level.depth level))
+    Occamy_mem.Level.all;
+  Array.iter
+    (fun c ->
+      let p name = Printf.sprintf "core%d.%s" c.core name in
+      seti (p "finish") c.finish;
+      seti (p "issued_compute") c.issued_compute;
+      seti (p "issued_mem") c.issued_mem;
+      seti (p "rename_stall_cycles") c.rename_stall_cycles;
+      seti (p "reconfig_blocked_cycles") c.reconfig_blocked_cycles;
+      seti (p "monitor_instrs") c.monitor_instrs;
+      seti (p "monitor_stall_cycles") c.monitor_stall_cycles;
+      seti (p "reconfigs") c.reconfigs;
+      seti (p "failed_vl_requests") c.failed_vl_requests;
+      seti (p "lsu_peak_loads") c.lsu_peak_loads;
+      seti (p "lsu_peak_stores") c.lsu_peak_stores;
+      seti (p "phases") (List.length c.phases);
+      List.iter
+        (fun ph ->
+          let pp name = p (Printf.sprintf "phase.%s.%s" ph.ps_name name) in
+          seti (pp "cycles") (ps_cycles ph);
+          seti (pp "issued_compute") ph.ps_issued_compute;
+          seti (pp "issued_mem") ph.ps_issued_mem;
+          seti (pp "rename_stalls") ph.ps_rename_stalls;
+          set (pp "avg_vl") ph.ps_avg_vl)
+        c.phases)
+    t.cores
+
+(** Fresh registry holding every counter of [t]. *)
+let counters t =
+  let reg = Counters.create () in
+  populate_counters reg t;
+  reg
 
 let pp_summary ppf t =
   Fmt.pf ppf "%a: %d cycles, util %.1f%%, %d replans@." Arch.pp t.arch

@@ -30,6 +30,8 @@ type core_result = {
   monitor_stall_cycles : int;
   reconfigs : int;
   failed_vl_requests : int;
+  lsu_peak_loads : int;   (** high-water LSU load-queue occupancy *)
+  lsu_peak_stores : int;
   phases : phase_stat list;
   lanes_timeline : float array;  (** avg busy lanes per 1000-cycle bucket *)
   vl_timeline : float array;     (** avg granules held per bucket *)
@@ -42,6 +44,8 @@ type t = {
   busy_lane_cycles : float;
   replans : int;             (** eager lane-partitioning events *)
   cores : core_result array;
+  mem_accesses : int array;  (** accesses served per level, by [Level.depth] *)
+  mem_bytes : float array;   (** bytes served per level, by [Level.depth] *)
   bucket_width : int;
 }
 
@@ -54,5 +58,15 @@ val overhead : t -> frontend_width:int -> core:int -> float * float
     execution time. Monitoring is a conservative upper bound of one
     front-end slot per `<decision>` read (the reads are speculative,
     §4.1.1); reconfiguration counts drain + retry cycles. *)
+
+val populate_counters : Occamy_obs.Counters.t -> t -> unit
+(** Register every scalar quantity of [t] under dotted names — run-level
+    gauges under ["sim."], per-core counters under ["core<i>."],
+    memory traffic under ["mem.<level>."], per-phase stats under
+    ["core<i>.phase.<name>."] — so callers read results by name instead
+    of pattern-matching these records. *)
+
+val counters : t -> Occamy_obs.Counters.t
+(** Fresh registry populated from [t] via {!populate_counters}. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -41,6 +41,8 @@ module Exebu = Occamy_coproc.Exebu
 module Lane_mgr = Occamy_lanemgr.Lane_mgr
 module Rng = Occamy_util.Rng
 module Buckets = Occamy_util.Stats.Buckets
+module Trace = Occamy_obs.Trace
+module Event = Occamy_obs.Event
 
 (* ------------------------------------------------------------------ *)
 (* In-flight instruction representation                                *)
@@ -151,6 +153,11 @@ type t = {
   compute_budget : int array;
   mem_budget : int array;
   bucket_width : int;
+  (* -------- observability (never feeds back into timing) ----------- *)
+  trace : Trace.t;
+  obs_prev_stalls : int array;  (* rename_stalls at the last episode scan *)
+  obs_stall_start : int array;  (* open stall episode start, -1 if none *)
+  obs_req_cycle : int array;    (* cycle of the pending MSR <VL>, -1 *)
 }
 
 let src = Logs.Src.create "occamy.sim" ~doc:"cycle-level simulator events"
@@ -212,9 +219,15 @@ let make_core cfg arch ~shared_freelist id wl =
     vl_buckets = Buckets.create ~width:1000;
   }
 
-let create ?(cfg = Config.default) ?decisions ?(context_switches = []) ~arch
-    workloads =
+let create ?(cfg = Config.default) ?(trace = Trace.disabled) ?decisions
+    ?(context_switches = []) ~arch workloads =
   let cfg = Config.validate cfg in
+  if Trace.enabled trace && Trace.num_tracks trace < cfg.cores + 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Sim.create: trace has %d tracks, need %d (one per core + LaneMgr; \
+          use Trace.for_sim)"
+         (Trace.num_tracks trace) (cfg.cores + 1));
   let n = List.length workloads in
   if n <> cfg.cores then
     invalid_arg
@@ -326,9 +339,53 @@ let create ?(cfg = Config.default) ?decisions ?(context_switches = []) ~arch
     compute_budget = Array.make domains 0;
     mem_budget = Array.make domains 0;
     bucket_width = 1000;
+    trace;
+    obs_prev_stalls = Array.make cfg.cores 0;
+    obs_stall_start = Array.make cfg.cores (-1);
+    obs_req_cycle = Array.make cfg.cores (-1);
   }
 
 let domain t core = if Arch.shares_issue_ports t.arch then 0 else core
+
+(* ------------------------------------------------------------------ *)
+(* Trace recording                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Tracing is strictly observational: every helper only *reads*
+   simulator state, so results are bit-identical with tracing on or off
+   (guarded by the "tracing non-perturbation" test). Hot-path call sites
+   guard on [Trace.enabled] *before* constructing the event, so a
+   disabled trace costs one branch and allocates nothing. *)
+
+let tracing t = Trace.enabled t.trace
+
+let trace_core t (c : core_state) ev =
+  Trace.record t.trace ~track:c.id ~cycle:t.cycle ev
+
+let trace_mgr t ev =
+  Trace.record t.trace ~track:(Array.length t.cores) ~cycle:t.cycle ev
+
+(* A lane-manager replan, with the full decision context: the per-core
+   decision vector and the roofline verdict behind each decision. *)
+let trace_replan t ~trigger ~cause mgr =
+  trace_mgr t
+    (Event.Replan
+       {
+         trigger;
+         cause;
+         decisions = Lane_mgr.decisions mgr;
+         verdicts = Lane_mgr.verdicts mgr;
+       })
+
+(* Close an open rename-stall episode on [c], if any. *)
+let trace_end_stall_episode t (c : core_state) ~upto =
+  let start = t.obs_stall_start.(c.id) in
+  if start >= 0 then begin
+    t.obs_stall_start.(c.id) <- -1;
+    trace_core t c
+      (Event.Rename_stall
+         { core = c.id; start_cycle = start; cycles = upto - start })
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Drain / reconfiguration                                             *)
@@ -341,12 +398,26 @@ let pipeline_drained c =
 
 (* Grant or refuse a pending MSR <VL>. Caller guarantees the drain. *)
 let resolve_vl_request t c l =
+  (* Close the reconfig-blocked interval opened by the MSR <VL> before
+     recording its outcome, so the span and the grant/deny read in
+     order. *)
+  if tracing t then begin
+    let req = t.obs_req_cycle.(c.id) in
+    t.obs_req_cycle.(c.id) <- -1;
+    if req >= 0 && t.cycle > req then
+      trace_core t c
+        (Event.Reconfig_blocked
+           { core = c.id; start_cycle = req; cycles = t.cycle - req })
+  end;
   (match t.arch with
   | Arch.Fts ->
     (* Temporal sharing: every core always executes at full width; the
        request degenerates to holding or releasing the co-processor. *)
     c.vl <- (if l = 0 then 0 else t.cfg.exebus);
-    c.reconfigs <- c.reconfigs + 1
+    c.reconfigs <- c.reconfigs + 1;
+    if tracing t then
+      trace_core t c
+        (Event.Vl_grant { core = c.id; granted = c.vl; al = t.cfg.exebus })
   | Arch.Private | Arch.Vls | Arch.Occamy ->
     if Rtbl.try_set_vl t.rtbl ~core:c.id l then begin
       Config_tbl.reassign t.exebu_cfg ~core:c.id ~count:l;
@@ -354,9 +425,17 @@ let resolve_vl_request t c l =
       Log.debug (fun m ->
           m "cycle %d: core%d reconfigured to %d granules" t.cycle c.id l);
       c.vl <- l;
-      c.reconfigs <- c.reconfigs + 1
+      c.reconfigs <- c.reconfigs + 1;
+      if tracing t then
+        trace_core t c
+          (Event.Vl_grant { core = c.id; granted = l; al = Rtbl.al t.rtbl })
     end
-    else c.failed_vl <- c.failed_vl + 1);
+    else begin
+      c.failed_vl <- c.failed_vl + 1;
+      if tracing t then
+        trace_core t c
+          (Event.Vl_deny { core = c.id; requested = l; al = Rtbl.al t.rtbl })
+    end);
   c.pending_vl <- None
 
 (* Status as read by MRS <status>: for FTS requests always succeed. *)
@@ -390,9 +469,12 @@ let close_phase t c =
       }
     in
     c.done_phases <- stat :: c.done_phases;
+    if tracing t then
+      trace_core t c (Event.Phase_end { core = c.id; phase = pa.pa_name });
     c.cur_phase <- None
 
 let handle_oi_write t c oi =
+  if tracing t then trace_core t c (Event.Oi_write { core = c.id; oi });
   if Oi.is_zero oi then begin
     close_phase t c;
     (match t.lane_mgr with
@@ -401,7 +483,9 @@ let handle_oi_write t c oi =
       Array.iteri
         (fun core d -> Rtbl.set_decision t.rtbl ~core d)
         (Lane_mgr.decisions mgr);
-      t.replans <- t.replans + 1
+      t.replans <- t.replans + 1;
+      if tracing t then
+        trace_replan t ~trigger:c.id ~cause:Event.Exit_phase mgr
     | None -> ());
     Rtbl.set_oi t.rtbl ~core:c.id Oi.zero
   end
@@ -415,6 +499,15 @@ let handle_oi_write t c oi =
     in
     c.phase_index <- c.phase_index + 1;
     close_phase t c;
+    if tracing t && not (Occamy_mem.Level.equal c.cur_level phase.Workload.ph_level)
+    then
+      trace_core t c
+        (Event.Mem_transition
+           {
+             core = c.id;
+             from_level = c.cur_level;
+             to_level = phase.Workload.ph_level;
+           });
     c.cur_level <- phase.Workload.ph_level;
     c.cur_phase <-
       Some
@@ -427,6 +520,15 @@ let handle_oi_write t c oi =
           pa_cycles = 0;
           pa_stalls = 0;
         };
+    if tracing t then
+      trace_core t c
+        (Event.Phase_begin
+           {
+             core = c.id;
+             phase = phase.Workload.ph_name;
+             oi;
+             level = phase.Workload.ph_level;
+           });
     Rtbl.set_oi t.rtbl ~core:c.id oi;
     match t.lane_mgr with
     | Some mgr ->
@@ -440,7 +542,9 @@ let handle_oi_write t c oi =
             (String.concat ";"
                (Array.to_list
                   (Array.map string_of_int (Lane_mgr.decisions mgr)))));
-      t.replans <- t.replans + 1
+      t.replans <- t.replans + 1;
+      if tracing t then
+        trace_replan t ~trigger:c.id ~cause:Event.Enter_phase mgr
     | None -> ()
   end
 
@@ -579,6 +683,10 @@ let step_frontend t c =
           let l = eval_src c src in
           if l < 0 || l > t.cfg.exebus then error "core%d: MSR <VL> %d" c.id l;
           c.pending_vl <- Some l;
+          if tracing t then begin
+            trace_core t c (Event.Vl_request { core = c.id; requested = l });
+            t.obs_req_cycle.(c.id) <- t.cycle
+          end;
           decr budget;
           continue_ := false
         | Instr.Msr (sr, _) ->
@@ -911,7 +1019,8 @@ let step_context_switch t c =
         Array.iteri
           (fun core d -> Rtbl.set_decision t.rtbl ~core d)
           (Lane_mgr.decisions mgr);
-        t.replans <- t.replans + 1
+        t.replans <- t.replans + 1;
+        if tracing t then trace_replan t ~trigger:c.id ~cause:Event.Preempt mgr
       | None -> ());
       c.cs_state <-
         Cs_away { resume_at = t.cycle + t.cfg.cs_away_cycles; saved_vl; saved_oi }
@@ -926,7 +1035,8 @@ let step_context_switch t c =
         Array.iteri
           (fun core d -> Rtbl.set_decision t.rtbl ~core d)
           (Lane_mgr.decisions mgr);
-        t.replans <- t.replans + 1
+        t.replans <- t.replans + 1;
+        if tracing t then trace_replan t ~trigger:c.id ~cause:Event.Resume mgr
       | _ -> ());
       if saved_vl = 0 then c.cs_state <- Cs_running
       else c.cs_state <- Cs_restoring { saved_vl }
@@ -978,6 +1088,19 @@ let step t =
       | Some l when pipeline_drained c -> resolve_vl_request t c l
       | _ -> ())
     t.cores;
+  (* Rename-stall episode detection (observability only): a fresh stall
+     this cycle opens an episode, the first stall-free cycle closes it. *)
+  if tracing t then
+    Array.iter
+      (fun c ->
+        let stalls = c.rename_stalls in
+        if stalls > t.obs_prev_stalls.(c.id) then begin
+          if t.obs_stall_start.(c.id) < 0 then
+            t.obs_stall_start.(c.id) <- t.cycle
+        end
+        else trace_end_stall_episode t c ~upto:t.cycle;
+        t.obs_prev_stalls.(c.id) <- stalls)
+      t.cores;
   sample_stats t;
   if t.cycle land 1023 = 0 then check_invariants t
 
@@ -994,6 +1117,8 @@ let core_result c =
     monitor_stall_cycles = c.monitor_stall_cycles;
     reconfigs = c.reconfigs;
     failed_vl_requests = c.failed_vl;
+    lsu_peak_loads = Lsu.peak_loads c.lsu;
+    lsu_peak_stores = Lsu.peak_stores c.lsu;
     phases = List.rev c.done_phases;
     lanes_timeline = Buckets.rates c.lanes_buckets;
     vl_timeline = Buckets.rates c.vl_buckets;
@@ -1007,7 +1132,19 @@ let run t =
     error "simulation exceeded %d cycles (deadlock or runaway loop?)"
       t.cfg.max_cycles;
   check_invariants t;
+  if tracing t then
+    (* Close any stall episode still open at the horizon. *)
+    Array.iter (fun c -> trace_end_stall_episode t c ~upto:t.cycle) t.cores;
   let total = Array.fold_left (fun acc c -> max acc c.finish) 0 t.cores in
+  let levels = Occamy_mem.Level.all in
+  let mem_accesses = Array.make (List.length levels) 0 in
+  let mem_bytes = Array.make (List.length levels) 0.0 in
+  List.iter
+    (fun level ->
+      let d = Occamy_mem.Level.depth level in
+      mem_accesses.(d) <- Hierarchy.accesses_at t.hierarchy level;
+      mem_bytes.(d) <- Hierarchy.bytes_at t.hierarchy level)
+    levels;
   {
     Metrics.arch = t.arch;
     total_cycles = total;
@@ -1018,6 +1155,8 @@ let run t =
     replans =
       (match t.lane_mgr with Some m -> Lane_mgr.replans m | None -> t.replans);
     cores = Array.map core_result t.cores;
+    mem_accesses;
+    mem_bytes;
     bucket_width = t.bucket_width;
   }
 
@@ -1033,8 +1172,8 @@ let run t =
     compile each pair once and share it across the four architecture
     simulations (see the "workload reuse" and "parallel determinism"
     tests). *)
-let simulate ?cfg ?decisions ?context_switches ~arch workloads =
-  let t = create ?cfg ?decisions ?context_switches ~arch workloads in
+let simulate ?cfg ?trace ?decisions ?context_switches ~arch workloads =
+  let t = create ?cfg ?trace ?decisions ?context_switches ~arch workloads in
   run t
 
 let cycle t = t.cycle

@@ -23,22 +23,34 @@ exception Simulation_error of string
     [Config.max_cycles]). *)
 
 val create :
-  ?cfg:Config.t -> ?decisions:int array -> ?context_switches:(int * int) list ->
-  arch:Arch.t -> Workload.t list -> t
+  ?cfg:Config.t -> ?trace:Occamy_obs.Trace.t -> ?decisions:int array ->
+  ?context_switches:(int * int) list -> arch:Arch.t -> Workload.t list -> t
 (** One workload per configured core. [decisions] forces a static
     partition (lane sweeps, Figure 14(a)); it is rejected on the elastic
     machine. [context_switches] schedules [(core, cycle)] OS preemptions:
     at [cycle] the core's workload is descheduled (pipelines drained, the
     EM-SIMD registers saved, lanes released) and later restored, its
     `<OI>` rewritten to retrigger lane partitioning — the OS interaction
-    described in §5. *)
+    described in §5.
+
+    [trace] (default {!Occamy_obs.Trace.disabled}) records cycle-stamped
+    events — phase begin/end, `MSR <OI>` writes, lane-manager replans
+    with their decision vectors and roofline verdicts, `MSR <VL>`
+    request/grant/deny, rename-stall and reconfig-blocked episodes,
+    memory-level transitions — into per-core tracks plus a lane-manager
+    track. It must have at least [cfg.cores + 1] tracks (use
+    {!Occamy_obs.Trace.for_sim}). Tracing only *reads* simulator state:
+    results are bit-identical with tracing on or off, and when disabled
+    the cost is one branch per site with no allocation (guaranteed by
+    the non-perturbation tests). *)
 
 val run : t -> Metrics.t
 (** Run to completion of every workload. *)
 
 val simulate :
-  ?cfg:Config.t -> ?decisions:int array -> ?context_switches:(int * int) list ->
-  arch:Arch.t -> Workload.t list -> Metrics.t
+  ?cfg:Config.t -> ?trace:Occamy_obs.Trace.t -> ?decisions:int array ->
+  ?context_switches:(int * int) list -> arch:Arch.t -> Workload.t list ->
+  Metrics.t
 (** [create] + [run]. *)
 
 val step : t -> unit

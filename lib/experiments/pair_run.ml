@@ -65,9 +65,12 @@ let occamy_overhead ?(cfg = Config.default) t =
     whatever [jobs] is — every simulation seeds its own {!Occamy_util.Rng.t}.
     [progress] is called with each label as its pair starts; under
     [jobs > 1] the calls come from worker domains, possibly out of
-    order. *)
-let run_all ?cfg ?tc_scale ?jobs ?(progress = fun _ -> ()) () =
-  Occamy_util.Domain_pool.map ?jobs
+    order. [observer] is handed to {!Occamy_util.Domain_pool.map}
+    unchanged — pair tasks show up as sweep spans in a
+    {!Occamy_obs.Trace.for_sweep} trace via
+    {!Occamy_obs.Trace.sweep_observer}. *)
+let run_all ?cfg ?tc_scale ?jobs ?observer ?(progress = fun _ -> ()) () =
+  Occamy_util.Domain_pool.map ?jobs ?observer
     (fun pair ->
       progress pair.Suite.label;
       (* Parallelism lives at the pair level; each task simulates its

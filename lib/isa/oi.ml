@@ -29,4 +29,5 @@ let is_zero t = t.issue = 0.0 && t.mem = 0.0
 let uniform x = make ~issue:x ~mem:x
 
 let equal a b = a.issue = b.issue && a.mem = b.mem
-let pp ppf t = Fmt.pf ppf "(%.3g,%.3g)" t.issue t.mem
+let to_string t = Printf.sprintf "(%.3g,%.3g)" t.issue t.mem
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -19,4 +19,9 @@ val uniform : float -> t
 (** No data reuse: [issue = mem]. *)
 
 val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["(issue,mem)"] with three significant digits — the rendering shared
+    by [pp], the trace-event schema and the roofline printer. *)
+
 val pp : Format.formatter -> t -> unit

@@ -70,3 +70,16 @@ let decisions t = Array.copy t.decision
 let replans t = t.replans
 let total t = t.total
 let current_oi t ~core = t.oi.(core)
+let current_level t ~core = t.level.(core)
+
+(** Roofline verdict per core at the current plan: which ceiling binds
+    each active workload at its decided width (["-"] for cores with no
+    active phase). This is the "why" behind a decision vector — the
+    trace recorder attaches it to every replan event. *)
+let verdicts t =
+  Array.init t.cores (fun core ->
+      if Occamy_isa.Oi.is_zero t.oi.(core) || t.decision.(core) = 0 then "-"
+      else
+        Roofline.bound_name
+          (Roofline.binding t.cfg ~vl:t.decision.(core) ~oi:t.oi.(core)
+             ~level:t.level.(core)))

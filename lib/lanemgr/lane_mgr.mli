@@ -22,3 +22,8 @@ val decisions : t -> int array
 val replans : t -> int
 val total : t -> int
 val current_oi : t -> core:int -> Occamy_isa.Oi.t
+val current_level : t -> core:int -> Occamy_mem.Level.t
+
+val verdicts : t -> string array
+(** Per-core {!Roofline.bound_name} at the current plan ("-" when the
+    core has no active phase) — attached to replan trace events. *)

@@ -38,6 +38,7 @@ type t = {
   dram : Channel.t;
   mutable accesses : int;
   mutable by_level : int array;  (* indexed by Level.depth *)
+  mutable bytes_by_level : float array;  (* bytes *served at* each level *)
 }
 
 let create ?(cfg = default_config) () =
@@ -48,6 +49,7 @@ let create ?(cfg = default_config) () =
     dram = Channel.create ~name:"DRAM" ~bytes_per_cycle:cfg.dram_bytes_per_cycle;
     accesses = 0;
     by_level = Array.make 3 0;
+    bytes_by_level = Array.make 3 0.0;
   }
 
 let reset t =
@@ -55,7 +57,8 @@ let reset t =
   Channel.reset t.l2;
   Channel.reset t.dram;
   t.accesses <- 0;
-  t.by_level <- Array.make 3 0
+  t.by_level <- Array.make 3 0;
+  t.bytes_by_level <- Array.make 3 0.0
 
 let latency_to t level =
   match level with
@@ -76,6 +79,8 @@ let latency_to t level =
 let access ?(prefetched = false) t ~now ~level ~bytes =
   t.accesses <- t.accesses + 1;
   t.by_level.(Level.depth level) <- t.by_level.(Level.depth level) + 1;
+  t.bytes_by_level.(Level.depth level) <-
+    t.bytes_by_level.(Level.depth level) +. float_of_int bytes;
   let now = float_of_int now in
   let bytes = float_of_int bytes in
   let t_vc = Channel.request t.vc ~now ~bytes in
@@ -101,6 +106,10 @@ let bandwidth_of t level =
 
 let accesses t = t.accesses
 let accesses_at t level = t.by_level.(Level.depth level)
+
+(** Bytes transferred by accesses *served at* [level] (each also crossed
+    every closer level's channel on the way). *)
+let bytes_at t level = t.bytes_by_level.(Level.depth level)
 let config t = t.cfg
 let channel t level =
   match level with

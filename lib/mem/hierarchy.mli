@@ -30,5 +30,10 @@ val latency_to : t -> Level.t -> int
 val bandwidth_of : t -> Level.t -> float
 val accesses : t -> int
 val accesses_at : t -> Level.t -> int
+
+val bytes_at : t -> Level.t -> float
+(** Bytes transferred by accesses served at a level — the
+    observability counters behind the [mem.*.bytes] gauges. *)
+
 val config : t -> config
 val channel : t -> Level.t -> Channel.t

@@ -7,6 +7,7 @@ type t = Vec_cache | L2 | Dram
 let all = [ Vec_cache; L2; Dram ]
 
 let name = function Vec_cache -> "VecCache" | L2 -> "L2" | Dram -> "DRAM"
+let to_string = name
 let pp ppf t = Fmt.string ppf (name t)
 let equal (a : t) b = a = b
 

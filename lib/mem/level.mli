@@ -5,6 +5,11 @@ type t = Vec_cache | L2 | Dram
 
 val all : t list
 val name : t -> string
+
+val to_string : t -> string
+(** Alias of [name], mirroring {!Occamy_isa.Oi.to_string} for the trace
+    event schema. *)
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 

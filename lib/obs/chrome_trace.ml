@@ -1,0 +1,123 @@
+(** Exporters: Chrome/Perfetto trace-event JSON and a flat CSV dump.
+
+    The JSON follows the Trace Event Format's JSON-object form
+    ([{"traceEvents": [...]}]) so `chrome://tracing` and
+    https://ui.perfetto.dev load it directly. Mapping:
+
+    - one pid (0) for the whole run, one tid per trace track, named via
+      ["thread_name"] metadata events — one lane per core plus the
+      LaneMgr lane;
+    - phase and sweep-task spans become "B"/"E" duration events;
+    - rename-stall and reconfig-blocked episodes become "X" complete
+      events with their recorded start and duration;
+    - everything else becomes a thread-scoped "i" instant event carrying
+      the event payload in ["args"].
+
+    Timestamps are microseconds in the format; we map 1 cycle = 1 us. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_args args =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+         args)
+  ^ "}"
+
+(* One trace-event JSON object. [ts]/[dur] are ints (cycles ~ us). *)
+let obj ~name ~ph ~ts ?dur ~tid ?args () =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"pid\":0,\"tid\":%d"
+       (escape name) ph tid);
+  (match ph with
+  | "M" -> ()  (* metadata events carry no timestamp *)
+  | _ -> Buffer.add_string b (Printf.sprintf ",\"ts\":%d" ts));
+  (match dur with
+  | Some d -> Buffer.add_string b (Printf.sprintf ",\"dur\":%d" d)
+  | None -> ());
+  if ph = "i" then Buffer.add_string b ",\"s\":\"t\"";
+  (match args with
+  | Some a -> Buffer.add_string b (",\"args\":" ^ json_args a)
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let event_objs ~tid ~cycle (ev : Event.t) =
+  let args = Event.args ev in
+  match ev with
+  | Event.Phase_begin { phase; _ } ->
+    [ obj ~name:phase ~ph:"B" ~ts:cycle ~tid ~args () ]
+  | Event.Phase_end { phase; _ } ->
+    [ obj ~name:phase ~ph:"E" ~ts:cycle ~tid () ]
+  | Event.Task_begin { label; _ } ->
+    [ obj ~name:label ~ph:"B" ~ts:cycle ~tid ~args () ]
+  | Event.Task_end { label; _ } ->
+    [ obj ~name:label ~ph:"E" ~ts:cycle ~tid () ]
+  | Event.Rename_stall { start_cycle; cycles; _ } ->
+    [ obj ~name:"rename-stall" ~ph:"X" ~ts:start_cycle ~dur:(max 1 cycles)
+        ~tid ~args () ]
+  | Event.Reconfig_blocked { start_cycle; cycles; _ } ->
+    [ obj ~name:"reconfig-blocked" ~ph:"X" ~ts:start_cycle ~dur:(max 1 cycles)
+        ~tid ~args () ]
+  | ev -> [ obj ~name:(Event.kind ev) ~ph:"i" ~ts:cycle ~tid ~args () ]
+
+let to_json trace =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  for track = 0 to Trace.num_tracks trace - 1 do
+    emit
+      (obj
+         ~name:"thread_name" ~ph:"M" ~ts:0 ~tid:track
+         ~args:[ ("name", Trace.track_name trace ~track) ]
+         ())
+  done;
+  Trace.iter trace (fun ~track ~cycle ev ->
+      List.iter emit (event_objs ~tid:track ~cycle ev));
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+(** Flat event dump: one row per event, payload as [k=v|k=v] (values are
+    comma-free by the {!Event.args} contract). *)
+let to_csv trace =
+  let b = Buffer.create 16384 in
+  Buffer.add_string b "track,cycle,event,core,args\n";
+  Trace.iter trace (fun ~track ~cycle ev ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%s,%s,%s\n"
+           (Trace.track_name trace ~track)
+           cycle (Event.kind ev)
+           (match Event.core ev with Some c -> string_of_int c | None -> "")
+           (String.concat "|"
+              (List.map (fun (k, v) -> k ^ "=" ^ v) (Event.args ev)))));
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_json ~path trace = write_file path (to_json trace)
+let write_csv ~path trace = write_file path (to_csv trace)

@@ -1,0 +1,13 @@
+(** Chrome/Perfetto trace-event JSON and CSV exporters for {!Trace.t}:
+    one timeline lane per track (cores + LaneMgr), phase spans as B/E
+    events, stall/blocked episodes as complete events, the rest as
+    instants. Load the JSON in `chrome://tracing` or ui.perfetto.dev. *)
+
+val to_json : Trace.t -> string
+(** The [{"traceEvents":[...]}] JSON-object form; 1 cycle = 1 us. *)
+
+val to_csv : Trace.t -> string
+(** [track,cycle,event,core,args] rows, args as [k=v|k=v]. *)
+
+val write_json : path:string -> Trace.t -> unit
+val write_csv : path:string -> Trace.t -> unit

@@ -1,0 +1,105 @@
+(** ASCII phase-Gantt renderer for quick terminal inspection.
+
+    One row per track. Phase (and sweep-task) spans paint the row with a
+    per-phase letter; lane-manager replans paint '*' marks on their
+    track; everything else is left as '.'. A legend maps letters back to
+    phase names. Intended for eyeballing a run's shape without leaving
+    the terminal — the Chrome exporter is the high-fidelity view. *)
+
+type span = { s_start : int; s_end : int; s_name : string }
+
+(* Reconstruct closed spans from Begin/End pairs; an unmatched Begin is
+   closed at [horizon]. *)
+let spans_of_track events ~horizon =
+  let open_spans = Hashtbl.create 4 in
+  let closed = ref [] in
+  List.iter
+    (fun (cycle, ev) ->
+      match ev with
+      | Event.Phase_begin { phase = name; _ }
+      | Event.Task_begin { label = name; _ } ->
+        Hashtbl.replace open_spans name cycle
+      | Event.Phase_end { phase = name; _ }
+      | Event.Task_end { label = name; _ } -> (
+        match Hashtbl.find_opt open_spans name with
+        | Some start ->
+          Hashtbl.remove open_spans name;
+          closed := { s_start = start; s_end = cycle; s_name = name } :: !closed
+        | None -> ())
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun name start ->
+      closed := { s_start = start; s_end = horizon; s_name = name } :: !closed)
+    open_spans;
+  List.sort (fun a b -> compare a.s_start b.s_start) !closed
+
+let letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+let render ?(width = 72) trace =
+  if not (Trace.enabled trace) then "(trace disabled: nothing to render)\n"
+  else begin
+    let n = Trace.num_tracks trace in
+    let horizon =
+      let m = ref 1 in
+      Trace.iter trace (fun ~track:_ ~cycle _ -> if cycle > !m then m := cycle);
+      !m
+    in
+    let per_char = max 1 ((horizon + width - 1) / width) in
+    let col cycle = min (width - 1) (cycle / per_char) in
+    let legend = Hashtbl.create 8 in
+    let next_letter = ref 0 in
+    let letter name =
+      match Hashtbl.find_opt legend name with
+      | Some c -> c
+      | None ->
+        let c = letters.[!next_letter mod String.length letters] in
+        incr next_letter;
+        Hashtbl.replace legend name c;
+        c
+    in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf "phase Gantt: cycles 0..%d  (1 char = %d cycle%s)\n"
+         horizon per_char
+         (if per_char = 1 then "" else "s"));
+    let name_w =
+      Array.fold_left max 8
+        (Array.init n (fun i ->
+             String.length (Trace.track_name trace ~track:i)))
+    in
+    for track = 0 to n - 1 do
+      let row = Bytes.make width '.' in
+      let events = Trace.events trace ~track in
+      List.iter
+        (fun sp ->
+          let c = letter sp.s_name in
+          for i = col sp.s_start to col (max sp.s_start (sp.s_end - 1)) do
+            Bytes.set row i c
+          done)
+        (spans_of_track events ~horizon);
+      (* Overlay replans and denied reconfigurations as point marks. *)
+      List.iter
+        (fun (cycle, ev) ->
+          match ev with
+          | Event.Replan _ -> Bytes.set row (col cycle) '*'
+          | Event.Vl_deny _ -> Bytes.set row (col cycle) '!'
+          | _ -> ())
+        events;
+      Buffer.add_string b
+        (Printf.sprintf "%-*s |%s|\n" name_w
+           (Trace.track_name trace ~track)
+           (Bytes.to_string row))
+    done;
+    if Hashtbl.length legend > 0 then begin
+      Buffer.add_string b "legend: ";
+      Buffer.add_string b
+        (String.concat "  "
+           (List.sort compare
+              (Hashtbl.fold
+                 (fun name c acc -> Printf.sprintf "%c=%s" c name :: acc)
+                 legend [])));
+      Buffer.add_string b "   *=replan  !=VL denied\n"
+    end;
+    Buffer.contents b
+  end

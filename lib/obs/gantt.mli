@@ -1,0 +1,5 @@
+(** ASCII phase-Gantt: one row per track, phase spans painted with
+    per-phase letters, replans as '*', denied `MSR <VL>` as '!'. *)
+
+val render : ?width:int -> Trace.t -> string
+(** Render the whole trace scaled to [width] columns (default 72). *)

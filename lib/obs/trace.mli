@@ -1,0 +1,53 @@
+(** Preallocated ring-buffer recorder of cycle-stamped {!Event.t}s, with
+    one single-writer track per core / lane manager / sweep worker.
+    Disabled tracing costs one flag check; guard event construction at
+    the call site: [if Trace.enabled tr then Trace.record tr ...]. *)
+
+type t
+
+val create : ?capacity:int -> tracks:string list -> unit -> t
+(** An enabled trace with one ring of [capacity] (default 65536) events
+    per named track. Raises [Invalid_argument] on a non-positive
+    capacity or an empty track list. *)
+
+val disabled : t
+(** The shared disabled trace: {!enabled} is [false], {!record} is a
+    no-op, and it holds no buffers. *)
+
+val enabled : t -> bool
+
+val record : t -> track:int -> cycle:int -> Event.t -> unit
+(** Append to a track's ring, dropping the oldest event when full. A
+    track must only ever be written from one domain. *)
+
+val num_tracks : t -> int
+val track_name : t -> track:int -> string
+
+val events : t -> track:int -> (int * Event.t) list
+(** Retained [(cycle, event)] pairs, oldest first. *)
+
+val dropped : t -> track:int -> int
+(** Events lost to ring overflow on this track. *)
+
+val total_events : t -> int
+val iter : t -> (track:int -> cycle:int -> Event.t -> unit) -> unit
+
+val for_sim : ?capacity:int -> cores:int -> unit -> t
+(** Simulator layout: tracks [core0..core(N-1)] plus a final ["LaneMgr"]
+    track ({!lanemgr_track}). *)
+
+val lanemgr_track : t -> int
+
+val for_sweep : ?capacity:int -> workers:int -> unit -> t
+(** One track per {!Occamy_util.Domain_pool} worker domain. *)
+
+val sweep_observer :
+  ?t0:float ->
+  t ->
+  label_of:(int -> string) ->
+  worker:int ->
+  index:int ->
+  phase:[ `Start | `Stop ] ->
+  unit
+(** Observer for [Domain_pool.map ?observer] recording task spans,
+    stamped in wall-clock microseconds since [t0] (default: now). *)

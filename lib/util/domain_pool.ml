@@ -7,6 +7,8 @@
 
 type error = { index : int; exn : exn; bt : Printexc.raw_backtrace }
 
+type observer = worker:int -> index:int -> phase:[ `Start | `Stop ] -> unit
+
 let recommended_jobs ?(cap = 16) () =
   max 1 (min cap (Domain.recommended_domain_count ()))
 
@@ -23,33 +25,46 @@ let jobs_from_env ?(var = "OCCAMY_JOBS") () =
    hammered per-task. *)
 let chunk_size ~tasks ~workers = max 1 (tasks / (workers * 4))
 
-let map_array ?jobs f tasks =
+(* No-op task observer: the default keeps the hot path free of option
+   checks inside the per-task loop. *)
+let no_observer ~worker:_ ~index:_ ~phase:_ = ()
+
+let map_array ?jobs ?(observer = no_observer) f tasks =
   let n = Array.length tasks in
   let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
   if jobs < 1 then invalid_arg "Domain_pool.map: jobs must be >= 1";
-  if jobs = 1 || n <= 1 then Array.map f tasks
+  if jobs = 1 || n <= 1 then
+    Array.mapi
+      (fun i task ->
+        observer ~worker:0 ~index:i ~phase:`Start;
+        let v = f task in
+        observer ~worker:0 ~index:i ~phase:`Stop;
+        v)
+      tasks
   else begin
     let workers = min jobs n in
     let results = Array.make n None in
     let errors = Array.make n None in
     let cursor = Atomic.make 0 in
     let chunk = chunk_size ~tasks:n ~workers in
-    let worker () =
+    let worker w =
       let continue_ = ref true in
       while !continue_ do
         let start = Atomic.fetch_and_add cursor chunk in
         if start >= n then continue_ := false
         else
           for i = start to min (start + chunk) n - 1 do
-            match f tasks.(i) with
+            observer ~worker:w ~index:i ~phase:`Start;
+            (match f tasks.(i) with
             | v -> results.(i) <- Some v
             | exception exn ->
               let bt = Printexc.get_raw_backtrace () in
-              errors.(i) <- Some { index = i; exn; bt }
+              errors.(i) <- Some { index = i; exn; bt });
+            observer ~worker:w ~index:i ~phase:`Stop
           done
       done
     in
-    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    let domains = Array.init workers (fun w -> Domain.spawn (fun () -> worker w)) in
     Array.iter Domain.join domains;
     (* Deterministic failure: the lowest-index error wins. *)
     Array.iter
@@ -64,8 +79,7 @@ let map_array ?jobs f tasks =
       results
   end
 
-let map ?jobs f xs =
+let map ?jobs ?observer f xs =
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
-  | xs -> Array.to_list (map_array ?jobs f (Array.of_list xs))
+  | xs -> Array.to_list (map_array ?jobs ?observer f (Array.of_list xs))

@@ -28,10 +28,20 @@ val jobs_from_env : ?var:string -> unit -> int
     ["OCCAMY_JOBS"]); falls back to {!recommended_jobs} when the
     variable is unset, empty, non-numeric, or < 1. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+type observer = worker:int -> index:int -> phase:[ `Start | `Stop ] -> unit
+(** Task-span hook for tracing: called immediately before ([`Start]) and
+    after ([`Stop]) each task, from the worker domain running it.
+    [worker] is a stable id in [0 .. jobs-1] ([0] on the sequential
+    path), so an observer writing to per-worker sinks — e.g.
+    [Occamy_obs.Trace.sweep_observer]'s per-worker tracks — is
+    race-free. [`Stop] fires even when the task raises. Must not raise
+    itself. *)
+
+val map : ?jobs:int -> ?observer:observer -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs] computed on [min jobs
     (length xs)] domains. [jobs] defaults to {!recommended_jobs}.
     Raises [Invalid_argument] when [jobs < 1]. *)
 
-val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?jobs:int -> ?observer:observer -> ('a -> 'b) -> 'a array -> 'b array
 (** Array counterpart of {!map}. *)

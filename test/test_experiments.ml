@@ -140,6 +140,51 @@ let test_four_core_group_shape () =
     (gm Arch.Occamy 3 > gm Arch.Vls 3);
   Helpers.check_bool "occamy gains on core3" true (gm Arch.Occamy 3 > 1.2)
 
+(* ---------------- Export golden shapes ----------------------------- *)
+
+let csv_lines csv =
+  List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+
+let columns line = List.length (String.split_on_char ',' line)
+
+let test_timeline_csv_shape () =
+  let r = List.hd (Lazy.force sample_runs) in
+  let m = Pair_run.result r Arch.Occamy in
+  let lines = csv_lines (Occamy_experiments.Export.timeline_csv m) in
+  Alcotest.(check string) "header" "kcycle,core,busy_lanes,held_lanes"
+    (List.hd lines);
+  List.iter
+    (fun l -> Helpers.check_int ("columns of " ^ l) 4 (columns l))
+    lines;
+  let expected_rows =
+    Array.fold_left
+      (fun acc c ->
+        acc
+        + max
+            (Array.length c.Metrics.lanes_timeline)
+            (Array.length c.Metrics.vl_timeline))
+      0 m.Metrics.cores
+  in
+  Helpers.check_int "one row per (bucket, core)" expected_rows
+    (List.length lines - 1)
+
+let test_pairs_csv_shape () =
+  let r = List.hd (Lazy.force sample_runs) in
+  let t = { Occamy_experiments.Fig10.runs = [ r ] } in
+  let lines = csv_lines (Occamy_experiments.Export.pairs_csv t) in
+  Alcotest.(check string) "header"
+    "pair,fts_s1,vls_s1,occamy_s1,fts_s0,vls_s0,occamy_s0,util_private,util_fts,util_vls,util_occamy,fts_stall_c0,fts_stall_c1"
+    (List.hd lines);
+  Helpers.check_int "one data row per run" 2 (List.length lines);
+  List.iter
+    (fun l -> Helpers.check_int ("columns of " ^ l) 13 (columns l))
+    lines;
+  (* The data row carries the pair's label in column one. *)
+  match String.split_on_char ',' (List.nth lines 1) with
+  | label :: _ ->
+    Alcotest.(check string) "label" r.Pair_run.pair.Suite.label label
+  | [] -> Alcotest.fail "empty data row"
+
 let suites =
   [
     ( "experiments",
@@ -153,6 +198,8 @@ let suites =
         Alcotest.test_case "lane sweep shape" `Quick test_lane_sweep_shape;
         Alcotest.test_case "fig2 table" `Quick test_fig2_stats_table_builds;
         Alcotest.test_case "table3 error bound" `Quick test_table3_error_bound;
+        Alcotest.test_case "timeline csv shape" `Quick test_timeline_csv_shape;
+        Alcotest.test_case "pairs csv shape" `Quick test_pairs_csv_shape;
         Alcotest.test_case "four-core shape" `Slow test_four_core_group_shape;
       ] );
   ]
