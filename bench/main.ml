@@ -22,7 +22,10 @@ let known_sections =
     "ablations"; "micro" ]
 
 let usage () =
-  Printf.eprintf "usage: bench [-j N] [--trace-dir DIR] [%s]...\n%!"
+  Printf.eprintf
+    "usage: bench [-j N] [--trace-dir DIR] [--golden-check|--golden-update] \
+     [%s]...\n\
+     %!"
     (String.concat "|" known_sections)
 
 (* `-j N` / `-jN` / `--jobs N` selects the worker-domain count; the
@@ -30,30 +33,35 @@ let usage () =
    recommended domain count. `--trace-dir DIR` (or the OCCAMY_TRACE
    environment variable) writes Chrome trace JSON for the traced
    sections into DIR. Remaining arguments are section names. *)
-let jobs, trace_dir, requested =
+type golden_mode = No_golden | Golden_check | Golden_update
+
+let jobs, trace_dir, golden_mode, requested =
   let bad msg = Printf.eprintf "bench: %s\n%!" msg; usage (); exit 2 in
   let parse_jobs s =
     match int_of_string_opt s with
     | Some j when j >= 1 -> j
     | _ -> bad (Printf.sprintf "invalid job count %S" s)
   in
-  let rec parse jobs tdir acc = function
-    | [] -> (jobs, tdir, List.rev acc)
+  let rec parse jobs tdir golden acc = function
+    | [] -> (jobs, tdir, golden, List.rev acc)
     | ("-j" | "--jobs") :: n :: rest ->
-      parse (Some (parse_jobs n)) tdir acc rest
+      parse (Some (parse_jobs n)) tdir golden acc rest
     | [ ("-j" | "--jobs") ] -> bad "-j expects a count"
-    | "--trace-dir" :: d :: rest -> parse jobs (Some d) acc rest
+    | "--trace-dir" :: d :: rest -> parse jobs (Some d) golden acc rest
     | [ "--trace-dir" ] -> bad "--trace-dir expects a directory"
+    | "--golden-check" :: rest -> parse jobs tdir Golden_check acc rest
+    | "--golden-update" :: rest -> parse jobs tdir Golden_update acc rest
     | s :: rest when String.length s > 2 && String.sub s 0 2 = "-j" ->
-      parse (Some (parse_jobs (String.sub s 2 (String.length s - 2)))) tdir
-        acc rest
+      parse
+        (Some (parse_jobs (String.sub s 2 (String.length s - 2))))
+        tdir golden acc rest
     | s :: rest when String.length s > 0 && s.[0] = '-' ->
       ignore rest;
       bad (Printf.sprintf "unknown option %S" s)
-    | s :: rest -> parse jobs tdir (s :: acc) rest
+    | s :: rest -> parse jobs tdir golden (s :: acc) rest
   in
-  let jobs, tdir, requested =
-    parse None None [] (List.tl (Array.to_list Sys.argv))
+  let jobs, tdir, golden, requested =
+    parse None None No_golden [] (List.tl (Array.to_list Sys.argv))
   in
   let tdir =
     match tdir with Some _ -> tdir | None -> Sys.getenv_opt "OCCAMY_TRACE"
@@ -73,7 +81,7 @@ let jobs, trace_dir, requested =
     | Some j -> j
     | None -> Occamy_util.Domain_pool.jobs_from_env ()
   in
-  (jobs, tdir, requested)
+  (jobs, tdir, golden, requested)
 
 let section_enabled name = requested = [] || List.mem name requested
 
@@ -289,8 +297,113 @@ let run_micro () =
   Table.print tbl
 
 (* ------------------------------------------------------------------ *)
+(* Golden-metrics drift gate (--golden-check / --golden-update)        *)
+(* ------------------------------------------------------------------ *)
+
+(* The motivating pair on all four architectures is cheap, touches every
+   layer (compiler, interpreter-compiled programs, lane manager, memory
+   hierarchy), and is bit-deterministic given Config.seed — so its key
+   metrics make a sharp drift detector: any change to simulated
+   behaviour moves at least one of them, and an intended change is
+   recorded by regenerating the file. *)
+
+module Json = Occamy_util.Json
+
+let golden_path = Filename.concat (Filename.concat "test" "golden") "metrics.json"
+
+let golden_metrics () =
+  let cfg = Config.default in
+  let wls = Occamy_workloads.Motivating.pair () in
+  let per_arch =
+    Occamy_util.Domain_pool.map ~jobs
+      (fun arch -> (arch, Occamy_core.Sim.simulate ~cfg ~arch wls))
+      Arch.all
+  in
+  List.concat_map
+    (fun (arch, m) ->
+      let cs = Occamy_core.Metrics.counters m in
+      let key name = Printf.sprintf "%s.%s" (Arch.name arch) name in
+      let keys =
+        [ "sim.total_cycles"; "sim.simd_util"; "sim.busy_lane_cycles";
+          "sim.replans"; "core0.finish"; "core0.issued_compute";
+          "core0.issued_mem"; "core0.reconfigs"; "core1.finish";
+          "core1.issued_compute"; "core1.issued_mem"; "core1.reconfigs";
+          "mem.veccache.bytes"; "mem.l2.bytes"; "mem.dram.bytes" ]
+      in
+      List.map
+        (fun k -> (key k, Json.Num (Occamy_obs.Counters.get_exn cs k)))
+        keys)
+    per_arch
+
+let run_golden_update () =
+  ensure_dir "test";
+  ensure_dir (Filename.concat "test" "golden");
+  Json.write_file ~path:golden_path (Json.obj_to_string (golden_metrics ()));
+  Printf.printf "wrote %s\n%!" golden_path
+
+let run_golden_check () =
+  match Json.read_file ~path:golden_path with
+  | Error e ->
+    Printf.eprintf
+      "bench: cannot read %s (%s)\nRegenerate it with: bench --golden-update\n%!"
+      golden_path e;
+    exit 1
+  | Ok contents ->
+    let want =
+      match Json.parse_flat_obj contents with
+      | Ok kvs ->
+        List.filter_map
+          (fun (k, v) -> match v with Json.Num f -> Some (k, f) | _ -> None)
+          kvs
+      | Error e ->
+        Printf.eprintf "bench: %s is not a flat JSON object: %s\n%!"
+          golden_path e;
+        exit 1
+    in
+    let got =
+      List.filter_map
+        (fun (k, v) -> match v with Json.Num f -> Some (k, f) | _ -> None)
+        (golden_metrics ())
+    in
+    (* Runs are deterministic, so the gate is near-exact: the epsilon
+       only absorbs decimal-printing round-trip of the float metrics. *)
+    let drift = ref [] in
+    List.iter
+      (fun (k, w) ->
+        match List.assoc_opt k got with
+        | None -> drift := Printf.sprintf "%s: missing from this run" k :: !drift
+        | Some g ->
+          if Float.abs (g -. w) > 1e-9 *. Float.max 1.0 (Float.abs w) then
+            drift :=
+              Printf.sprintf "%s: golden %.17g, measured %.17g" k w g :: !drift)
+      want;
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem_assoc k want) then
+          drift := Printf.sprintf "%s: not in the golden file" k :: !drift)
+      got;
+    if !drift = [] then
+      Printf.printf "golden check: %d metrics match %s\n%!" (List.length want)
+        golden_path
+    else begin
+      Printf.eprintf
+        "bench: golden metrics drift detected (%d metric%s):\n%!"
+        (List.length !drift)
+        (if List.length !drift > 1 then "s" else "");
+      List.iter (Printf.eprintf "  %s\n%!") (List.rev !drift);
+      Printf.eprintf
+        "If the change is intended, regenerate with: bench --golden-update \
+         and commit the file.\n%!";
+      exit 1
+    end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  match golden_mode with
+  | Golden_check -> run_golden_check ()
+  | Golden_update -> run_golden_update ()
+  | No_golden ->
   Printf.printf
     "Occamy reproduction bench harness (machine: %d cores, %d lanes; %d \
      worker domain%s)\n"

@@ -371,6 +371,140 @@ let export_cmd =
        ~doc:"Export figure data (timelines, pair series, Table 3) as CSV")
     Term.(const run $ dir_arg $ scale_arg $ jobs_arg)
 
+(* ---------------- fuzz --------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "s"; "seed" ] ~docv:"S"
+          ~doc:"Root seed of the campaign; case $(i,i) derives its replay \
+                seed purely from (S, i).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of cases to run.")
+  in
+  let minutes_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "minutes" ] ~docv:"M"
+          ~doc:
+            "Run batches of fresh cases until $(docv) minutes elapse \
+             instead of a fixed count (the nightly deep-fuzz mode).")
+  in
+  let case_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "case" ] ~docv:"SEED"
+          ~doc:
+            "Replay a single case by the seed a counterexample printed, \
+             skipping the campaign.")
+  in
+  let inject_arg =
+    let names = List.map fst Occamy_check.Fuzz.injections in
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun n -> (n, n)) names))) None
+      & info [ "inject" ] ~docv:"BUG"
+          ~doc:
+            (Printf.sprintf
+               "Seed a deliberate compiler bug (%s) into the loops fed to \
+                the compiler while the reference runs the originals — for \
+                demonstrating that the fuzzer catches and shrinks it."
+               (String.concat ", " names)))
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:
+            "On failure, write the counterexample (JSON summary, pretty \
+             loops, repro command) into $(docv) for CI artifact upload.")
+  in
+  let write_artifacts dir ~root_seed ?inject_name
+      (cx : Occamy_check.Fuzz.counterexample) =
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let repro =
+      Occamy_check.Fuzz.repro_command ?inject_name cx.Occamy_check.Fuzz.cx_seed
+    in
+    let json_path = Filename.concat dir "counterexample.json" in
+    Occamy_util.Json.write_file ~path:json_path
+      (Occamy_util.Json.obj_to_string
+      [
+        ("root_seed", Occamy_util.Json.Num (float_of_int root_seed));
+        ( "case_index",
+          Occamy_util.Json.Num (float_of_int cx.Occamy_check.Fuzz.cx_index) );
+        (* as a string: replay seeds are 62-bit, beyond exact float range *)
+        ( "case_seed",
+          Occamy_util.Json.Str (string_of_int cx.Occamy_check.Fuzz.cx_seed) );
+        ( "stage",
+          Occamy_util.Json.Str
+            cx.Occamy_check.Fuzz.cx_failure.Occamy_check.Diff.stage );
+        ( "message",
+          Occamy_util.Json.Str
+            cx.Occamy_check.Fuzz.cx_failure.Occamy_check.Diff.message );
+        ( "shrink_steps",
+          Occamy_util.Json.Num (float_of_int cx.Occamy_check.Fuzz.cx_steps) );
+        ("repro", Occamy_util.Json.Str repro);
+      ]);
+    let txt_path = Filename.concat dir "counterexample.txt" in
+    let oc = open_out txt_path in
+    let ppf = Format.formatter_of_out_channel oc in
+    Format.fprintf ppf "%a@.@.original:@.%a@.repro: %s@." Occamy_check.Diff.pp_case
+      cx.Occamy_check.Fuzz.cx_shrunk Occamy_check.Diff.pp_case
+      cx.Occamy_check.Fuzz.cx_original repro;
+    close_out oc;
+    Fmt.pr "wrote %s and %s@." json_path txt_path
+  in
+  let run seed count minutes case inject jobs out =
+    match case with
+    | Some cs -> (
+      (* Single-case replay: the repro path a counterexample prints. *)
+      match Occamy_check.Fuzz.run_case ?inject_name:inject cs with
+      | Ok () ->
+        Fmt.pr "case %d: ok@." cs;
+        `Ok ()
+      | Error f ->
+        Fmt.pr "case %d: %a@.%a@." cs Occamy_check.Diff.pp_failure f
+          Occamy_check.Diff.pp_case
+          (Occamy_check.Diff.case_of_seed cs);
+        `Error (false, "case failed"))
+    | None ->
+      let report =
+        Occamy_check.Fuzz.run ?inject_name:inject ?minutes
+          ~on_batch:(fun ~done_ ->
+            Fmt.pr "  ... %d cases@." done_;
+            Format.pp_print_flush Fmt.stdout ())
+          ~seed ~count ~jobs:(resolve_jobs jobs) ()
+      in
+      Fmt.pr "%a@." Occamy_check.Fuzz.pp_report report;
+      (match report.Occamy_check.Fuzz.counterexample with
+      | Some cx ->
+        Option.iter
+          (fun dir ->
+            write_artifacts dir ~root_seed:seed ?inject_name:inject cx)
+          out;
+        `Error (false, "fuzzing found a counterexample")
+      | None -> `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random loop workloads through the \
+          reference semantics, the EM-SIMD interpreter under adversarial \
+          reconfiguration schedules, and the cycle simulator on all four \
+          architectures, with structural invariant checks — \
+          counterexamples are shrunk and printed as replayable commands")
+    Term.(
+      ret
+        (const run $ seed_arg $ count_arg $ minutes_arg $ case_arg
+       $ inject_arg $ jobs_arg $ out_arg))
+
 (* ---------------- main --------------------------------------------- *)
 
 let () =
@@ -383,4 +517,4 @@ let () =
        (Cmd.group
           (Cmd.info "occamy-sim" ~version:"1.0.0" ~doc)
           [ run_cmd; motivating_cmd; list_cmd; disasm_cmd; roofline_cmd;
-            area_cmd; export_cmd ]))
+            area_cmd; export_cmd; fuzz_cmd ]))

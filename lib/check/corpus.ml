@@ -1,0 +1,21 @@
+type entry = { name : string; seed : int }
+
+(* Seeds are raw case seeds ([occamy-sim fuzz --case <seed>]), named for
+   the coverage they pin down. See the .mli for the promotion workflow. *)
+let entries =
+  [
+    (* tc=1 with stores at i-1 and a running max: the degenerate trip. *)
+    { name = "trip1-degenerate"; seed = 8 };
+    (* tc=60 sits just under the scalar threshold; second phase tc=4. *)
+    { name = "multiversion-boundary"; seed = 2 };
+    (* reps=3 with a cc[i-2] stencil tap and an unhoisted prologue. *)
+    { name = "outer-reps-stencil"; seed = 1 };
+    (* two phases, DRAM then L2 footprints. *)
+    { name = "multi-phase"; seed = 9 };
+    (* faddv reduction interleaved between two stores. *)
+    { name = "reduction-mix"; seed = 11 };
+    (* fminv over a guarded division, store with a d[i-2] tap. *)
+    { name = "deep-guarded-div"; seed = 12 };
+  ]
+
+let replay e = Diff.run (Diff.case_of_seed e.seed)

@@ -1,0 +1,226 @@
+(** Random loop/workload generation. See the interface for the
+    adversarial-coverage and staying-in-class design notes. *)
+
+module Loop_ir = Occamy_compiler.Loop_ir
+module Vop = Occamy_isa.Vop
+module Level = Occamy_mem.Level
+
+type cfg = {
+  max_phases : int;
+  max_stmts : int;
+  max_depth : int;
+  max_trip : int;
+  allow_div_sqrt : bool;
+  allow_outer_reps : bool;
+}
+
+let default_cfg =
+  {
+    max_phases = 3;
+    max_stmts = 3;
+    max_depth = 3;
+    max_trip = 400;
+    allow_div_sqrt = true;
+    allow_outer_reps = true;
+  }
+
+let read_pool = [ "a"; "b"; "cc"; "d" ]
+let write_pool = [| "o"; "p"; "q" |]
+
+(* Adversarial trip counts: 1 (degenerate), tiny (scalar multi-version
+   path), the scalar-threshold boundary, odd counts no vector width
+   divides, and exact multiples of the widest vector. *)
+let gen_trip rng cfg =
+  (* Choose the category first, then draw within it — a single explicit
+     draw order, independent of list-literal evaluation order. *)
+  let t =
+    match
+      Rng.choose rng
+        [ (1, `One); (2, `Tiny); (2, `Threshold); (3, `Odd); (2, `Mult32);
+          (2, `Any) ]
+    with
+    | `One -> 1
+    | `Tiny -> Rng.range rng 2 4
+    | `Threshold -> Rng.range rng 60 68  (* around Codegen scalar_threshold *)
+    | `Odd -> (2 * Rng.range rng 33 199) + 1  (* no vector width divides it *)
+    | `Mult32 -> 32 * Rng.range rng 1 12
+    | `Any -> Rng.range rng 5 cfg.max_trip
+  in
+  min t cfg.max_trip
+
+(* A per-loop stencil palette: offset 0 plus at most three distinct
+   non-zero offsets, respecting both the validator's [-8, 8] bound and
+   the ABI's four address-temporary slots. *)
+let gen_palette rng =
+  let n = Rng.choose rng [ (3, 0); (3, 1); (2, 2); (1, 3) ] in
+  let offs = ref [] in
+  let attempts = ref 0 in
+  while List.length !offs < n && !attempts < 32 do
+    incr attempts;
+    let o =
+      match Rng.choose rng [ (4, `Near); (1, `Far) ] with
+      | `Near -> Rng.range rng (-2) 2
+      | `Far -> Rng.range rng (-8) 8
+    in
+    if o <> 0 && not (List.mem o !offs) then offs := o :: !offs
+  done;
+  Array.of_list (0 :: !offs)
+
+let gen_offset rng palette =
+  (* Offset 0 dominates; stencil taps are the salt, not the dish. *)
+  if Rng.bool rng 0.6 then 0 else Rng.pick rng palette
+
+let gen_level rng =
+  Rng.choose rng [ (3, Level.Vec_cache); (2, Level.L2); (1, Level.Dram) ]
+
+(* Expression generator. [params] are the loop's pre-drawn invariant
+   bindings (name -> value), so a name is never bound to two values. *)
+let gen_expr rng cfg ~reads ~palette ~params depth =
+  let reads = Array.of_list reads in
+  let leaf () =
+    Rng.choose rng
+      ([
+         (5,
+          fun () ->
+            Loop_ir.Load
+              { base = Rng.pick rng reads; offset = gen_offset rng palette });
+         (2, fun () -> Loop_ir.Const (Rng.float rng *. 4.0 -. 2.0));
+       ]
+      @
+      if params = [] then []
+      else
+        [
+          (2,
+           fun () ->
+             let name, v = Rng.pick rng (Array.of_list params) in
+             Loop_ir.Param (name, v));
+        ])
+      ()
+  in
+  let rec go depth =
+    if depth <= 0 || Rng.bool rng 0.25 then leaf ()
+    else
+      let sub () = go (depth - 1) in
+      Rng.choose rng
+        ([
+           (3, fun () -> Loop_ir.Op (Vop.Add, [ sub (); sub () ]));
+           (3, fun () -> Loop_ir.Op (Vop.Sub, [ sub (); sub () ]));
+           (3, fun () -> Loop_ir.Op (Vop.Mul, [ sub (); sub () ]));
+           (1, fun () -> Loop_ir.Op (Vop.Max, [ sub (); sub () ]));
+           (1, fun () -> Loop_ir.Op (Vop.Min, [ sub (); sub () ]));
+           (1, fun () -> Loop_ir.Op (Vop.Abs, [ sub () ]));
+           (1, fun () -> Loop_ir.Op (Vop.Neg, [ sub () ]));
+           (2, fun () -> Loop_ir.Op (Vop.Fma, [ sub (); sub (); sub () ]));
+         ]
+        @
+        if not cfg.allow_div_sqrt then []
+        else
+          [
+            (1,
+             fun () ->
+               (* Guarded division: |den| + c with c >= 1 keeps the
+                  denominator away from zero, so no inf/NaN enters the
+                  data and the ULP comparison stays meaningful. *)
+               let c = 1.0 +. (Rng.float rng *. 3.0) in
+               Loop_ir.Op
+                 (Vop.Div,
+                  [
+                    sub ();
+                    Loop_ir.Op
+                      (Vop.Add,
+                       [ Loop_ir.Op (Vop.Abs, [ sub () ]); Loop_ir.Const c ]);
+                  ]));
+            (1,
+             (* Sqrt over |e|: stays real without constraining e. *)
+             fun () -> Loop_ir.Op (Vop.Sqrt, [ Loop_ir.Op (Vop.Abs, [ sub () ]) ]));
+          ])
+        ()
+  in
+  go depth
+
+let red_ops = [| Vop.Red.Sum; Vop.Red.Maxr; Vop.Red.Minr |]
+
+let loop ?(cfg = default_cfg) ?(reads = []) rng ~name =
+  let palette = gen_palette rng in
+  let nparams = Rng.range rng 0 2 in
+  let params =
+    List.init nparams (fun i ->
+        (Printf.sprintf "w%d" i, (Rng.float rng *. 4.0) -. 2.0))
+  in
+  (* Store targets first: what this loop writes, it must not read. An
+     explicit fold keeps the side-effecting draws in a defined order
+     (List.init's evaluation order is unspecified). *)
+  let nstmts = Rng.range rng 1 (max 1 cfg.max_stmts) in
+  let targets = ref [] in
+  let nreds = ref 0 in
+  let kinds =
+    List.rev
+      (List.fold_left
+         (fun acc () ->
+           let want_store =
+             List.length !targets < Array.length write_pool
+             && (!nreds >= 2 || Rng.bool rng 0.7)
+           in
+           let kind =
+             if want_store then begin
+               let candidates =
+                 Array.of_list
+                   (List.filter
+                      (fun w -> not (List.mem w !targets))
+                      (Array.to_list write_pool))
+               in
+               let tgt = Rng.pick rng candidates in
+               targets := tgt :: !targets;
+               `Store tgt
+             end
+             else begin
+               incr nreds;
+               `Reduce (name ^ "_r" ^ string_of_int !nreds)
+             end
+           in
+           kind :: acc)
+         []
+         (List.init nstmts (fun _ -> ())))
+  in
+  let reads =
+    List.filter
+      (fun a -> not (List.mem a !targets))
+      (read_pool @ reads)
+  in
+  let body =
+    List.rev
+      (List.fold_left
+         (fun acc kind ->
+           let e = gen_expr rng cfg ~reads ~palette ~params cfg.max_depth in
+           let stmt =
+             match kind with
+             | `Store tgt ->
+               Loop_ir.Store ({ base = tgt; offset = gen_offset rng palette }, e)
+             | `Reduce rname -> Loop_ir.Reduce (Rng.pick rng red_ops, rname, e)
+           in
+           stmt :: acc)
+         [] kinds)
+  in
+  let outer_reps =
+    if cfg.allow_outer_reps then Rng.choose rng [ (6, 1); (1, 2); (1, 3) ]
+    else 1
+  in
+  Loop_ir.validate
+    {
+      Loop_ir.name;
+      trip_count = gen_trip rng cfg;
+      body;
+      level = gen_level rng;
+      outer_reps;
+    }
+
+let workload ?(cfg = default_cfg) rng =
+  let phases = Rng.range rng 1 (max 1 cfg.max_phases) in
+  let written = ref [] in
+  let acc = ref [] in
+  for i = 0 to phases - 1 do
+    let l = loop ~cfg ~reads:!written rng ~name:(Printf.sprintf "ph%d" i) in
+    written := List.sort_uniq compare (!written @ Loop_ir.arrays_written l);
+    acc := l :: !acc
+  done;
+  List.rev !acc

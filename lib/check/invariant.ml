@@ -1,0 +1,314 @@
+module Config = Occamy_core.Config
+module Arch = Occamy_core.Arch
+module Metrics = Occamy_core.Metrics
+module Trace = Occamy_obs.Trace
+module Event = Occamy_obs.Event
+module Counters = Occamy_obs.Counters
+module Roofline = Occamy_lanemgr.Roofline
+module Level = Occamy_mem.Level
+
+let failf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let rec all_ok = function
+  | [] -> Ok ()
+  | r :: rest -> ( match r with Ok () -> all_ok rest | Error _ as e -> e)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_phase ~cfg ~core total_cycles (p : Metrics.phase_stat) =
+  let open Metrics in
+  if p.ps_start < 0 || p.ps_end < p.ps_start then
+    failf "core%d phase %s: span [%d, %d] is not a valid interval" core
+      p.ps_name p.ps_start p.ps_end
+  else if p.ps_end > total_cycles then
+    failf "core%d phase %s: ends at %d, after the run's last cycle %d" core
+      p.ps_name p.ps_end total_cycles
+  else if p.ps_issued_compute < 0 || p.ps_issued_mem < 0 || p.ps_rename_stalls < 0
+  then failf "core%d phase %s: negative issue/stall tally" core p.ps_name
+  else if p.ps_avg_vl < 0.0 || p.ps_avg_vl > float_of_int cfg.Config.exebus +. 1e-9
+  then
+    failf "core%d phase %s: avg_vl %.3f outside [0, %d] granules" core
+      p.ps_name p.ps_avg_vl cfg.Config.exebus
+  else Ok ()
+
+let check_core ~cfg total_cycles (c : Metrics.core_result) =
+  let open Metrics in
+  if c.finish < 0 || c.finish > total_cycles then
+    failf "core%d: finish %d outside [0, %d]" c.core c.finish total_cycles
+  else if
+    c.issued_compute < 0 || c.issued_mem < 0 || c.rename_stall_cycles < 0
+    || c.reconfig_blocked_cycles < 0 || c.monitor_instrs < 0
+    || c.monitor_stall_cycles < 0 || c.reconfigs < 0 || c.failed_vl_requests < 0
+  then failf "core%d: negative counter" c.core
+  else if c.lsu_peak_loads < 0 || c.lsu_peak_loads > cfg.Config.lsu_load_capacity
+  then
+    failf "core%d: LSU load high-water %d outside queue capacity %d" c.core
+      c.lsu_peak_loads cfg.Config.lsu_load_capacity
+  else if
+    c.lsu_peak_stores < 0 || c.lsu_peak_stores > cfg.Config.lsu_store_capacity
+  then
+    failf "core%d: LSU store high-water %d outside queue capacity %d" c.core
+      c.lsu_peak_stores cfg.Config.lsu_store_capacity
+  else
+    let* () =
+      all_ok (List.map (check_phase ~cfg ~core:c.core total_cycles) c.phases)
+    in
+    let sum f = List.fold_left (fun acc p -> acc + f p) 0 c.phases in
+    if sum (fun p -> p.ps_issued_compute) > c.issued_compute then
+      failf "core%d: phases issued %d compute instrs, core total is only %d"
+        c.core
+        (sum (fun p -> p.ps_issued_compute))
+        c.issued_compute
+    else if sum (fun p -> p.ps_issued_mem) > c.issued_mem then
+      failf "core%d: phases issued %d mem instrs, core total is only %d" c.core
+        (sum (fun p -> p.ps_issued_mem))
+        c.issued_mem
+    else Ok ()
+
+let check_metrics ~cfg (m : Metrics.t) =
+  let open Metrics in
+  let lanes = float_of_int (Config.total_lanes cfg) in
+  let levels = List.length Level.all in
+  if m.total_cycles < 0 then failf "total_cycles %d is negative" m.total_cycles
+  else if m.simd_util < 0.0 || m.simd_util > 1.0 +. 1e-9 then
+    failf "simd_util %.6f outside [0, 1]" m.simd_util
+  else if
+    m.busy_lane_cycles < 0.0
+    || m.busy_lane_cycles > (float_of_int m.total_cycles *. lanes) +. 1e-6
+  then
+    failf "busy_lane_cycles %.1f exceeds cycles x lanes = %.1f"
+      m.busy_lane_cycles
+      (float_of_int m.total_cycles *. lanes)
+  else if m.replans < 0 then failf "replans %d is negative" m.replans
+  else if
+    Array.length m.mem_accesses <> levels || Array.length m.mem_bytes <> levels
+  then failf "memory traffic arrays do not cover the %d levels" levels
+  else if Array.exists (fun a -> a < 0) m.mem_accesses then
+    failf "negative access count in memory traffic"
+  else if Array.exists (fun b -> b < 0.0) m.mem_bytes then
+    failf "negative byte count in memory traffic"
+  else if Array.length m.cores <> cfg.Config.cores then
+    failf "metrics cover %d cores, machine has %d" (Array.length m.cores)
+      cfg.Config.cores
+  else
+    all_ok
+      (Array.to_list (Array.map (check_core ~cfg m.total_cycles) m.cores))
+
+(* ------------------------------------------------------------------ *)
+(* Counters registry vs the record it came from                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_counters (m : Metrics.t) =
+  let open Metrics in
+  let cs = Metrics.counters m in
+  let expect name v =
+    let got = Counters.get_exn cs name in
+    if Float.abs (got -. v) > 1e-6 *. Float.max 1.0 (Float.abs v) then
+      failf "counter %s is %.6f, record says %.6f" name got v
+    else Ok ()
+  in
+  let* () = expect "sim.total_cycles" (float_of_int m.total_cycles) in
+  let* () = expect "sim.replans" (float_of_int m.replans) in
+  let* () = expect "sim.simd_util" m.simd_util in
+  let* () = expect "sim.cores" (float_of_int (Array.length m.cores)) in
+  let* () =
+    all_ok
+      (List.map
+         (fun lvl ->
+           let tag = String.lowercase_ascii (Level.to_string lvl) in
+           let d = Level.depth lvl in
+           let* () =
+             expect
+               (Printf.sprintf "mem.%s.accesses" tag)
+               (float_of_int m.mem_accesses.(d))
+           in
+           expect (Printf.sprintf "mem.%s.bytes" tag) m.mem_bytes.(d))
+         Level.all)
+  in
+  let* () =
+    all_ok
+      (Array.to_list
+         (Array.map
+            (fun (c : Metrics.core_result) ->
+              let pfx = Printf.sprintf "core%d." c.core in
+              let* () = expect (pfx ^ "finish") (float_of_int c.finish) in
+              let* () =
+                expect (pfx ^ "issued_compute")
+                  (float_of_int c.issued_compute)
+              in
+              let* () =
+                expect (pfx ^ "reconfigs") (float_of_int c.reconfigs)
+              in
+              expect (pfx ^ "phases") (float_of_int (List.length c.phases)))
+            m.cores))
+  in
+  (* Per-level bytes must add up to the run's total traffic: each access
+     is booked at exactly one level. *)
+  let total =
+    List.fold_left
+      (fun acc lvl ->
+        acc
+        +. Counters.get_exn cs
+             (Printf.sprintf "mem.%s.bytes"
+                (String.lowercase_ascii (Level.to_string lvl))))
+      0.0 Level.all
+  in
+  let want = Metrics.total_mem_bytes m in
+  if Float.abs (total -. want) > 1e-6 *. Float.max 1.0 want then
+    failf "per-level byte counters sum to %.1f, total traffic is %.1f" total
+      want
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace streams                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_vocabulary = "-" :: Roofline.bound_names
+
+let check_replan ~cfg ~track ~cycle decisions verdicts =
+  let exebus = cfg.Config.exebus in
+  if Array.length decisions <> cfg.Config.cores then
+    failf "%s@%d: replan decision vector has %d entries for %d cores" track
+      cycle (Array.length decisions) cfg.Config.cores
+  else if Array.exists (fun d -> d < 0 || d > exebus) decisions then
+    failf "%s@%d: replan decision outside [0, %d]" track cycle exebus
+  else if Array.fold_left ( + ) 0 decisions > exebus then
+    failf "%s@%d: replan decisions sum to %d, machine has %d ExeBUs" track
+      cycle
+      (Array.fold_left ( + ) 0 decisions)
+      exebus
+  else if
+    Array.exists (fun v -> not (List.mem v verdict_vocabulary)) verdicts
+  then failf "%s@%d: replan verdict outside the roofline vocabulary" track cycle
+  else Ok ()
+
+(* One core track: VL request/grant/deny pairing and phase balance.
+   [complete] is false when the ring dropped events — then only the
+   stateless per-event checks run, since a lost request would make the
+   pairing state machine report phantom violations. *)
+let check_core_track ~cfg ~arch ~complete ~track events =
+  let exebus = cfg.Config.exebus in
+  let pending_req = ref None in
+  let open_phase = ref None in
+  let step (cycle, ev) =
+    match ev with
+    | Event.Vl_request { requested; _ } ->
+      if requested < 0 || requested > exebus then
+        failf "%s@%d: VL request for %d granules outside [0, %d]" track cycle
+          requested exebus
+      else begin
+        pending_req := Some requested;
+        Ok ()
+      end
+    | Event.Vl_grant { granted; al; _ } ->
+      let paired = !pending_req in
+      pending_req := None;
+      if granted < 0 || granted > exebus then
+        failf "%s@%d: granted VL %d outside [0, %d]" track cycle granted exebus
+      else if al < 0 || al > exebus then
+        failf "%s@%d: AL %d outside [0, %d]" track cycle al exebus
+      else if Arch.equal arch Arch.Fts then
+        if granted <> 0 && granted <> exebus then
+          failf "%s@%d: FTS granted %d granules; it only grants 0 or %d" track
+            cycle granted exebus
+        else Ok ()
+      else begin
+        match paired with
+        | Some r when complete && granted <> r ->
+          failf "%s@%d: granted %d granules, request asked for %d" track cycle
+            granted r
+        | _ -> Ok ()
+      end
+    | Event.Vl_deny { requested; al; _ } ->
+      let paired = !pending_req in
+      pending_req := None;
+      if requested <= al then
+        failf "%s@%d: denied a request for %d with %d granules available"
+          track cycle requested al
+      else begin
+        match paired with
+        | Some r when complete && requested <> r ->
+          failf "%s@%d: denial names %d granules, request asked for %d" track
+            cycle requested r
+        | _ -> Ok ()
+      end
+    | Event.Phase_begin { phase; _ } -> begin
+      match !open_phase with
+      | Some p when complete ->
+        failf "%s@%d: phase %s begins inside still-open phase %s" track cycle
+          phase p
+      | _ ->
+        open_phase := Some phase;
+        Ok ()
+    end
+    | Event.Phase_end { phase; _ } -> begin
+      match !open_phase with
+      | Some p when complete && p <> phase ->
+        failf "%s@%d: phase %s ends, but %s is the open phase" track cycle
+          phase p
+      | None when complete ->
+        failf "%s@%d: phase %s ends without a begin" track cycle phase
+      | _ ->
+        open_phase := None;
+        Ok ()
+    end
+    | _ -> Ok ()
+  in
+  let* () = all_ok (List.map step events) in
+  match !open_phase with
+  | Some p when complete ->
+    failf "%s: phase %s never ended" track p
+  | _ -> Ok ()
+
+let check_track ~cfg ~arch tr ~track =
+  let name = Trace.track_name tr ~track in
+  let events = Trace.events tr ~track in
+  let complete = Trace.dropped tr ~track = 0 in
+  (* Monotone, non-negative cycle stamps; episode spans that close at or
+     before their stamp. These hold even on truncated rings (dropping
+     oldest events preserves order). *)
+  let last = ref min_int in
+  let stream_check (cycle, ev) =
+    if cycle < 0 then failf "%s: negative cycle stamp %d" name cycle
+    else if cycle < !last then
+      failf "%s: cycle stamp %d after %d — time ran backwards" name cycle !last
+    else begin
+      last := cycle;
+      match Event.duration ev with
+      | Some (start, len) ->
+        if start < 0 || len < 0 then
+          failf "%s@%d: episode with negative start/length" name cycle
+        else if start + len > cycle then
+          failf "%s@%d: episode [%d, +%d] ends after its own stamp" name cycle
+            start len
+        else Ok ()
+      | None -> Ok ()
+    end
+  in
+  let* () = all_ok (List.map stream_check events) in
+  if name = "LaneMgr" then
+    all_ok
+      (List.map
+         (fun (cycle, ev) ->
+           match ev with
+           | Event.Replan { decisions; verdicts; _ } ->
+             check_replan ~cfg ~track:name ~cycle decisions verdicts
+           | _ -> Ok ())
+         events)
+  else check_core_track ~cfg ~arch ~complete ~track:name events
+
+let check_trace ~cfg ~arch tr =
+  if not (Trace.enabled tr) then Ok ()
+  else
+    all_ok
+      (List.init (Trace.num_tracks tr) (fun track ->
+           check_track ~cfg ~arch tr ~track))
+
+let check_run ~cfg ~arch ~trace m =
+  let* () = check_metrics ~cfg m in
+  let* () = check_counters m in
+  check_trace ~cfg ~arch trace

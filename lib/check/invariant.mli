@@ -1,0 +1,48 @@
+(** Structural invariants of a simulation run.
+
+    These are properties every run must satisfy regardless of workload or
+    schedule — the safety net behind the differential oracle:
+
+    - lane conservation: every replan's decision vector sums to at most
+      the machine's ExeBU count, and every per-core decision stays within
+      it (the ResourceTbl invariant [AL + sum VL = total], seen from the
+      trace);
+    - grant discipline: a granted `MSR <VL>` matches its request on the
+      spatial architectures (the ResourceTbl grants exactly what was
+      asked) and the full bus width on FTS; a denial implies the request
+      exceeded what was available;
+    - monotone time: cycle stamps never decrease within a trace track,
+      phase spans nest properly, and stall/blocked episodes end no later
+      than the cycle they are stamped at;
+    - metrics consistency: utilization is a fraction, busy lane-cycles
+      fit inside [total_cycles * lanes], per-phase tallies never exceed
+      their core's totals, and the counters registry agrees with the
+      record it was populated from. *)
+
+val check_metrics :
+  cfg:Occamy_core.Config.t -> Occamy_core.Metrics.t -> (unit, string) result
+(** Range and consistency checks on the metrics record itself. *)
+
+val check_counters : Occamy_core.Metrics.t -> (unit, string) result
+(** Re-derives a sample of counters from the record and compares against
+    {!Occamy_core.Metrics.counters} — guards the registry population
+    logic against drift. *)
+
+val check_trace :
+  cfg:Occamy_core.Config.t ->
+  arch:Occamy_core.Arch.t ->
+  Occamy_obs.Trace.t ->
+  (unit, string) result
+(** Per-track stream checks: monotone cycles, VL request/grant/deny
+    pairing, phase begin/end balance, replan lane conservation and
+    verdict vocabulary. Checks that need a complete stream (pairing,
+    balance) are skipped on tracks that dropped events. Disabled traces
+    pass vacuously. *)
+
+val check_run :
+  cfg:Occamy_core.Config.t ->
+  arch:Occamy_core.Arch.t ->
+  trace:Occamy_obs.Trace.t ->
+  Occamy_core.Metrics.t ->
+  (unit, string) result
+(** All of the above; the first failure wins. *)

@@ -1,0 +1,50 @@
+(** Splittable deterministic PRNG for the differential fuzzer.
+
+    SplitMix64 with a per-generator gamma (Steele, Lea & Flood,
+    "Fast splittable pseudorandom number generators", OOPSLA'14): no
+    global state, equal seeds yield equal streams, and {!split} derives a
+    statistically independent child stream — so every fuzz case is a
+    replayable integer seed, and drawing more numbers in one part of the
+    generator never perturbs another part. This is what makes a printed
+    counterexample command reproduce bit-identically. *)
+
+type t
+
+val create : seed:int -> t
+(** A fresh root generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Independent clone continuing from the same state. *)
+
+val split : t -> t
+(** Derive an independent child generator, advancing [t] by two draws.
+    Numbers drawn from the child and from the continued parent are
+    statistically independent. *)
+
+val case_seed : seed:int -> int -> int
+(** [case_seed ~seed i] is the non-negative replay seed of the [i]-th
+    fuzz case under root seed [seed] — a pure mixing function, so case
+    [i] can be re-run alone without generating cases [0..i-1]. *)
+
+val bits64 : t -> int64
+(** 64 fresh pseudo-random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] on
+    a non-positive bound. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** True with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose : t -> (int * 'a) list -> 'a
+(** Pick by positive integer weight; raises on an empty or zero-weight
+    list. *)

@@ -150,6 +150,22 @@ let max_offset t =
     0
     (arrays_read t @ arrays_written t)
 
+(** Structural size of a loop: statements plus expression nodes, plus the
+    trip count's bit length so that shrinking the trip also shrinks the
+    measure. The fuzzer's minimiser only accepts rewrites that reduce
+    this, which makes greedy shrinking terminate. *)
+let size t =
+  let rec expr_size = function
+    | Load _ | Const _ | Param _ -> 1
+    | Op (_, args) -> List.fold_left (fun acc a -> acc + expr_size a) 1 args
+  in
+  let bits n =
+    let rec go acc n = if n <= 0 then acc else go (acc + 1) (n lsr 1) in
+    go 0 n
+  in
+  List.fold_left (fun acc s -> acc + 1 + expr_size (stmt_expr s)) 0 t.body
+  + bits t.trip_count + t.outer_reps
+
 (** Structural validation: arity of every operator, positive trip count,
     unique reduction names, bounded offsets. *)
 let validate t =

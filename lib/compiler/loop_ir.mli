@@ -69,6 +69,10 @@ val offsets_of_array : t -> string -> int list
 val min_offset : t -> int
 val max_offset : t -> int
 
+val size : t -> int
+(** Structural size (statements + expression nodes + trip-count bits +
+    outer reps) — the measure the fuzzer's shrinker minimises. *)
+
 val validate : t -> t
 (** Arity, trip count, unique reductions, bounded offsets, consistent
     parameter bindings. Returns its argument. *)

@@ -54,6 +54,15 @@ type t = {
 
 let core_finish t c = t.cores.(c).finish
 
+(** Total memory traffic across all hierarchy levels — every level's
+    served bytes summed. Because each vector access is booked at exactly
+    one (stochastically classified) level, this sum is deterministic:
+    the differential checker compares it against the traffic the static
+    Equation-5 analysis predicts. *)
+let total_mem_bytes t = Array.fold_left ( +. ) 0.0 t.mem_bytes
+
+let total_mem_accesses t = Array.fold_left ( + ) 0 t.mem_accesses
+
 (** Speedup of [t] relative to [baseline] on core [c] — the Figure 10
     metric (baseline time / this time, per core). *)
 let speedup_vs ~baseline t ~core =

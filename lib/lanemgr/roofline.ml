@@ -79,6 +79,11 @@ let bound_name = function
   | Issue_bound -> "simd-issue"
   | Memory_bound -> "memory"
 
+(** Every string {!bound_name} can produce — the vocabulary the trace
+    invariant checker validates replan verdicts against. *)
+let bound_names =
+  List.map bound_name [ Compute_bound; Issue_bound; Memory_bound ]
+
 (** Net performance gain of granting one more granule (Equation 3). *)
 let net_perf_gain cfg ~vl ~oi ~level =
   attainable cfg ~vl:(vl + 1) ~oi ~level -. attainable cfg ~vl ~oi ~level

@@ -35,6 +35,10 @@ val binding :
 
 val bound_name : bound -> string
 
+val bound_names : string list
+(** Every verdict string {!bound_name} can produce — the vocabulary the
+    trace invariant checker validates replan events against. *)
+
 val net_perf_gain :
   cfg -> vl:int -> oi:Occamy_isa.Oi.t -> level:Occamy_mem.Level.t -> float
 (** Equation (3): the gain of one more granule. *)

@@ -1,0 +1,26 @@
+(** Minimal JSON support for the harness's machine-readable artifacts —
+    the committed golden-metrics file the CI drift gate compares against
+    and the fuzzer's counterexample reports. Only the fragment those
+    need: serialising string/number objects and parsing back a *flat*
+    object of scalars. No external dependencies. *)
+
+type value = Null | Bool of bool | Num of float | Str of string
+
+val escape : string -> string
+(** JSON string escaping (quotes, backslashes, control characters). *)
+
+val value_to_string : value -> string
+(** Numbers print with round-trip precision ([%.17g], integers without a
+    fractional part), so write-then-parse is exact. *)
+
+val obj_to_string : (string * value) list -> string
+(** A flat object, one [" key": value] pair per entry, pretty-printed
+    with one pair per line (stable diffs under version control). *)
+
+val parse_flat_obj : string -> ((string * value) list, string) result
+(** Parse a flat JSON object of scalar values (the output of
+    {!obj_to_string}). Nested arrays/objects are rejected with an
+    error message — the golden file format is deliberately flat. *)
+
+val write_file : path:string -> string -> unit
+val read_file : path:string -> (string, string) result

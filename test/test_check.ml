@@ -1,0 +1,253 @@
+(* The fuzzing subsystem's own tests: PRNG stream discipline, generator
+   validity, the differential oracle end-to-end, shrinking guarantees,
+   seeded-bug detection, and the regression corpus replay. *)
+
+module Check = Occamy_check
+module Rng = Occamy_check.Rng
+module Gen = Occamy_check.Gen
+module Diff = Occamy_check.Diff
+module Shrink = Occamy_check.Shrink
+module Fuzz = Occamy_check.Fuzz
+module Corpus = Occamy_check.Corpus
+module Loop_ir = Occamy_compiler.Loop_ir
+module Codegen = Occamy_compiler.Codegen
+module Json = Occamy_util.Json
+
+let draw_n rng n = List.init n (fun _ -> Rng.bits64 rng)
+
+(* ---------------- Rng ---------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  Helpers.check_bool "equal seeds, equal streams" true
+    (draw_n a 64 = draw_n b 64);
+  let c = Rng.create ~seed:43 in
+  Helpers.check_bool "different seeds, different streams" false
+    (draw_n (Rng.create ~seed:42) 64 = draw_n c 64)
+
+let test_rng_split_independence () =
+  (* The child's stream must not depend on what is later drawn from the
+     parent, and vice versa: split first, interleave draws arbitrarily,
+     and both streams match their uninterleaved replays. *)
+  let p1 = Rng.create ~seed:7 in
+  let c1 = Rng.split p1 in
+  let parent_draws = draw_n p1 32 in
+  let child_draws = draw_n c1 32 in
+  let p2 = Rng.create ~seed:7 in
+  let c2 = Rng.split p2 in
+  let child_first = draw_n c2 32 in
+  let parent_after = draw_n p2 32 in
+  Helpers.check_bool "child stream replays" true (child_draws = child_first);
+  Helpers.check_bool "parent stream replays" true (parent_draws = parent_after);
+  Helpers.check_bool "parent and child streams differ" false
+    (parent_draws = child_draws)
+
+let test_rng_case_seed_pure () =
+  let s1 = Rng.case_seed ~seed:0 5 in
+  let s2 = Rng.case_seed ~seed:0 5 in
+  Helpers.check_int "pure in (seed, index)" s1 s2;
+  Helpers.check_bool "non-negative" true (s1 >= 0);
+  Helpers.check_bool "index-sensitive" false
+    (Rng.case_seed ~seed:0 5 = Rng.case_seed ~seed:0 6);
+  Helpers.check_bool "seed-sensitive" false
+    (Rng.case_seed ~seed:0 5 = Rng.case_seed ~seed:1 5)
+
+let test_rng_ranges () =
+  let rng = Rng.create ~seed:99 in
+  for _ = 1 to 1000 do
+    let v = Rng.range rng (-3) 7 in
+    Helpers.check_bool "range within bounds" true (v >= -3 && v <= 7);
+    let f = Rng.float rng in
+    Helpers.check_bool "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+(* ---------------- Gen ---------------------------------------------- *)
+
+let test_gen_valid_and_compilable () =
+  (* Every generated workload must pass the IR validator (Gen calls it)
+     AND compile without tripping the vectorizer's ABI budgets, across
+     many seeds and both option polarities. *)
+  for i = 0 to 199 do
+    let cs = Rng.case_seed ~seed:31415 i in
+    let c = Diff.case_of_seed cs in
+    match
+      Codegen.compile_workload ~options:c.Diff.options ~name:"gen"
+        ~kind:Occamy_core.Workload.Mixed c.Diff.loops
+    with
+    | exception e ->
+      Alcotest.failf "seed %d does not compile: %s" cs (Printexc.to_string e)
+    | _ -> ()
+  done
+
+let test_gen_deterministic () =
+  let w1 = Gen.workload (Rng.create ~seed:123) in
+  let w2 = Gen.workload (Rng.create ~seed:123) in
+  Helpers.check_bool "same seed, same workload" true (w1 = w2)
+
+let test_gen_no_loop_carried_deps () =
+  for i = 0 to 99 do
+    let rng = Rng.create ~seed:(Rng.case_seed ~seed:777 i) in
+    List.iter
+      (fun l ->
+        let written = Loop_ir.arrays_written l in
+        let read = Loop_ir.arrays_read l in
+        List.iter
+          (fun w ->
+            if List.mem w read then
+              Alcotest.failf "loop %s both reads and writes %s"
+                l.Loop_ir.name w)
+          written)
+      (Gen.workload rng)
+  done
+
+(* ---------------- Diff --------------------------------------------- *)
+
+let test_diff_clean_cases_pass () =
+  for i = 0 to 19 do
+    let cs = Rng.case_seed ~seed:0 i in
+    match Fuzz.run_case cs with
+    | Ok () -> ()
+    | Error f ->
+      Alcotest.failf "case %d fails: %a" cs
+        (fun ppf -> Format.fprintf ppf "%a" Diff.pp_failure)
+        f
+  done
+
+let test_diff_catches_injected_bugs () =
+  (* Each seeded bug must be caught within a small budget of cases. *)
+  List.iter
+    (fun (name, _) ->
+      let report =
+        Fuzz.run ~inject_name:name ~seed:0 ~count:50 ~jobs:1 ()
+      in
+      Helpers.check_bool
+        (Printf.sprintf "injection %s is caught" name)
+        true
+        (report.Fuzz.counterexample <> None))
+    Fuzz.injections
+
+(* ---------------- Shrink ------------------------------------------- *)
+
+let find_counterexample ~inject_name =
+  let report = Fuzz.run ~inject_name ~seed:0 ~count:50 ~jobs:1 () in
+  match report.Fuzz.counterexample with
+  | Some cx -> cx
+  | None -> Alcotest.failf "no counterexample for %s" inject_name
+
+let test_shrink_still_fails () =
+  let cx = find_counterexample ~inject_name:"stencil-off-by-one" in
+  let inject = Option.get (Fuzz.inject_of_name "stencil-off-by-one") in
+  (match Diff.run ~inject cx.Fuzz.cx_shrunk with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "shrunk case no longer fails");
+  Helpers.check_bool "shrunk no larger than original" true
+    (Shrink.size cx.Fuzz.cx_shrunk <= Shrink.size cx.Fuzz.cx_original)
+
+let test_shrink_deterministic () =
+  let cx1 = find_counterexample ~inject_name:"short-trip" in
+  let cx2 = find_counterexample ~inject_name:"short-trip" in
+  Helpers.check_int "same failing seed" cx1.Fuzz.cx_seed cx2.Fuzz.cx_seed;
+  Helpers.check_bool "same shrunk witness" true
+    (cx1.Fuzz.cx_shrunk.Diff.loops = cx2.Fuzz.cx_shrunk.Diff.loops)
+
+let test_shrink_preserves_schedule () =
+  let cx = find_counterexample ~inject_name:"short-trip" in
+  Helpers.check_int "schedule seed untouched"
+    cx.Fuzz.cx_original.Diff.sched_seed cx.Fuzz.cx_shrunk.Diff.sched_seed;
+  Helpers.check_bool "options untouched" true
+    (cx.Fuzz.cx_original.Diff.options = cx.Fuzz.cx_shrunk.Diff.options)
+
+(* ---------------- Invariants on real runs --------------------------- *)
+
+let test_invariants_hold_on_suite_run () =
+  (* A real co-running pair on every architecture: metrics, counters and
+     trace must all satisfy the structural invariants. *)
+  let cfg = Occamy_core.Config.default in
+  let wls = Occamy_workloads.Motivating.pair () in
+  List.iter
+    (fun arch ->
+      let trace =
+        Occamy_obs.Trace.for_sim ~cores:cfg.Occamy_core.Config.cores ()
+      in
+      let m = Occamy_core.Sim.simulate ~cfg ~trace ~arch wls in
+      match Occamy_check.Invariant.check_run ~cfg ~arch ~trace m with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.failf "%s: invariant violated: %s"
+          (Occamy_core.Arch.name arch) msg)
+    Occamy_core.Arch.all
+
+(* ---------------- Corpus ------------------------------------------- *)
+
+let test_corpus_replays_clean () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      match Corpus.replay e with
+      | Ok () -> ()
+      | Error f ->
+        Alcotest.failf "corpus %s (seed %d): %a" e.Corpus.name e.Corpus.seed
+          (fun ppf -> Format.fprintf ppf "%a" Diff.pp_failure)
+          f)
+    Corpus.entries
+
+let test_corpus_names_unique () =
+  let names = List.map (fun (e : Corpus.entry) -> e.Corpus.name) Corpus.entries in
+  Helpers.check_int "unique corpus names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+(* ---------------- Json --------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let obj =
+    [
+      ("a", Json.Num 1.0);
+      ("b", Json.Num 3.141592653589793);
+      ("c", Json.Str "hello \"world\"\n");
+      ("d", Json.Bool true);
+      ("e", Json.Null);
+    ]
+  in
+  match Json.parse_flat_obj (Json.obj_to_string obj) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok back -> Helpers.check_bool "roundtrip" true (obj = back)
+
+let suites =
+  [
+    ( "check.rng",
+      [
+        Alcotest.test_case "deterministic streams" `Quick test_rng_deterministic;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+        Alcotest.test_case "case_seed is pure" `Quick test_rng_case_seed_pure;
+        Alcotest.test_case "ranges in bounds" `Quick test_rng_ranges;
+      ] );
+    ( "check.gen",
+      [
+        Alcotest.test_case "valid + compilable" `Quick test_gen_valid_and_compilable;
+        Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+        Alcotest.test_case "no loop-carried deps" `Quick test_gen_no_loop_carried_deps;
+      ] );
+    ( "check.diff",
+      [
+        Alcotest.test_case "clean cases pass" `Quick test_diff_clean_cases_pass;
+        Alcotest.test_case "injected bugs caught" `Quick test_diff_catches_injected_bugs;
+      ] );
+    ( "check.shrink",
+      [
+        Alcotest.test_case "shrunk still fails, no larger" `Quick test_shrink_still_fails;
+        Alcotest.test_case "deterministic" `Quick test_shrink_deterministic;
+        Alcotest.test_case "schedule preserved" `Quick test_shrink_preserves_schedule;
+      ] );
+    ( "check.invariant",
+      [
+        Alcotest.test_case "real runs satisfy invariants" `Quick
+          test_invariants_hold_on_suite_run;
+      ] );
+    ( "check.corpus",
+      [
+        Alcotest.test_case "replays clean" `Quick test_corpus_replays_clean;
+        Alcotest.test_case "unique names" `Quick test_corpus_names_unique;
+      ] );
+    ( "check.json",
+      [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip ] );
+  ]

@@ -155,84 +155,29 @@ let test_div_sqrt_ops () =
   in
   check_with_schedules ~name:"dsq" ~seeds:[ 61; 62 ] [ l ]
 
-(* Random loop bodies x random schedules. *)
-let gen_expr =
-  QCheck2.Gen.(
-    let arr = oneofl [ "a"; "b"; "cc" ] in
-    let off = int_range (-1) 1 in
-    let leaf =
-      frequency
-        [
-          (4, map2 (fun a o -> Loop_ir.Load { base = a; offset = o }) arr off);
-          (1, map (fun v -> Loop_ir.Const v) (float_range (-2.0) 2.0));
-          (1, pure (Loop_ir.Param ("prm", 0.75)));
-        ]
-    in
-    let op2 =
-      oneofl Occamy_isa.Vop.[ Add; Sub; Mul; Max; Min ]
-    in
-    sized_size (int_range 0 4)
-    @@ fix (fun self n ->
-           if n <= 0 then leaf
-           else
-             frequency
-               [
-                 (1, leaf);
-                 (3,
-                  map3
-                    (fun op a b -> Loop_ir.Op (op, [ a; b ]))
-                    op2 (self (n - 1)) (self (n - 1)));
-               ]))
-
-let gen_case =
-  QCheck2.Gen.(
-    let stmt =
-      frequency
-        [
-          (4, map (fun e -> Loop_ir.Store ({ base = "out"; offset = 0 }, e)) gen_expr);
-          (1,
-           map
-             (fun e -> Loop_ir.Reduce (Occamy_isa.Vop.Red.Sum, "racc", e))
-             gen_expr);
-        ]
-    in
-    triple (list_size (int_range 1 3) stmt) (int_range 65 300) (int_range 0 10000))
-
-let print_case (stmts, tc, seed) =
-  Fmt.str "tc=%d seed=%d@.%a@.%s" tc seed
-    (Fmt.list Loop_ir.pp_stmt) stmts
-    (try
-       let l = loop ~name:"rand" ~trip_count:tc stmts in
-       let env = schedule_env ~seed () in
-       ignore (Helpers.run_and_compare ~env ~eps:1e-5 ~name:"rand" [ l ]);
-       "(passes in isolation?)"
-     with e -> Printexc.to_string e)
-
-let qcheck_random_bodies_random_schedules =
-  QCheck2.Test.make ~count:60 ~print:print_case
-    ~name:"random bodies == reference under random schedules"
-    gen_case (fun (stmts, tc, seed) ->
-      (* Deduplicate reductions: keep at most one Reduce. *)
-      let seen_red = ref false in
-      let stmts =
-        List.filter
-          (fun s ->
-            match s with
-            | Loop_ir.Reduce _ ->
-              if !seen_red then false
-              else begin
-                seen_red := true;
-                true
-              end
-            | Loop_ir.Store _ -> true)
-          stmts
-      in
-      let l = loop ~name:"rand" ~trip_count:tc stmts in
-      let env = schedule_env ~seed () in
-      try
-        ignore (Helpers.run_and_compare ~env ~eps:1e-5 ~name:"rand" [ l ]);
-        true
-      with _ -> false)
+(* Random loop bodies x random schedules — driven by the fuzzer's
+   deterministic splittable generator under one fixed seed, so a failure
+   here is a stable repro, not a lost QCheck shrink. The open-ended
+   exploration this section used to do lives in `occamy-sim fuzz`;
+   seeds worth keeping land in Occamy_check.Corpus (replayed by
+   test_check). *)
+let test_random_bodies_random_schedules () =
+  let root = 20260806 in
+  for i = 0 to 29 do
+    let case_seed = Occamy_check.Rng.case_seed ~seed:root i in
+    let rng = Occamy_check.Rng.create ~seed:case_seed in
+    let loops = Occamy_check.Gen.workload rng in
+    let env = schedule_env ~seed:(root + i) () in
+    try
+      ignore
+        (Helpers.run_and_compare ~env ~eps:1e-5
+           ~name:(Printf.sprintf "rand%d" i)
+           loops)
+    with e ->
+      Alcotest.failf "case %d (replay: occamy-sim fuzz --case %d): %s@.%a" i
+        case_seed (Printexc.to_string e)
+        (Fmt.list Loop_ir.pp) loops
+  done
 
 let suites =
   [
@@ -251,6 +196,7 @@ let suites =
         Alcotest.test_case "outer reps / hoisting" `Quick test_outer_reps_hoisted_and_not;
         Alcotest.test_case "monitorless" `Quick test_monitorless_code_still_correct;
         Alcotest.test_case "div/sqrt" `Quick test_div_sqrt_ops;
+        Alcotest.test_case "random bodies x random schedules" `Quick
+          test_random_bodies_random_schedules;
       ] );
-    Helpers.qsuite "semantics.qcheck" [ qcheck_random_bodies_random_schedules ];
   ]
