@@ -19,7 +19,7 @@ module E = Occamy_experiments
 
 let known_sections =
   [ "table4"; "table3"; "fig2"; "table5"; "fig14"; "fig10"; "fig16"; "fig12";
-    "ablations"; "micro" ]
+    "ablations"; "micro"; "perf" ]
 
 let usage () =
   Printf.eprintf
@@ -297,6 +297,74 @@ let run_micro () =
   Table.print tbl
 
 (* ------------------------------------------------------------------ *)
+(* Simulator throughput: naive loop vs fast-forward (BENCH_perf.json)  *)
+(* ------------------------------------------------------------------ *)
+
+let perf_json = "BENCH_perf.json"
+
+(* The CI perf-smoke gate: generous and flake-resistant — fail only if
+   fast-forwarding makes the whole measured set >10% slower overall. *)
+let perf_gate = 1.10
+
+let run_perf () =
+  let pair = Occamy_workloads.Motivating.pair () in
+  let scenarios =
+    [
+      (* The dense co-run: both cores issue nearly every cycle, so there
+         is nothing to skip — this row checks fast-forward costs nothing
+         when it cannot help (the paper's premise is a saturated machine). *)
+      ("pair", "motivating pair", fun () -> E.Perf.measure_all ~repeat:3 pair);
+      (* The §5 OS interaction: both co-runners preempted for a 1ms-class
+         quantum (2M cycles at 2GHz). The machine is provably idle for
+         the whole away window — where event-horizon skipping pays. *)
+      ( "preempt",
+        "motivating pair, both cores preempted 2M cycles",
+        fun () ->
+          E.Perf.measure_all
+            ~cfg:{ Config.default with Config.cs_away_cycles = 2_000_000 }
+            ~context_switches:[ (0, 5000); (1, 5000) ]
+            ~repeat:3 pair );
+      (* A memory-bound co-run (Figure 10's Mem+Mem category). *)
+      ( "membound",
+        "memory-bound pair (Mem+Mem)",
+        fun () ->
+          let p =
+            List.find
+              (fun p -> p.Occamy_workloads.Suite.category = `Mem_mem)
+              Occamy_workloads.Suite.pairs
+          in
+          E.Perf.measure_all ~repeat:3
+            (Occamy_workloads.Suite.compile_pair p) );
+    ]
+  in
+  let measured =
+    List.map
+      (fun (name, desc, f) ->
+        Printf.printf "  %s: %s\n%!" name desc;
+        let samples = f () in
+        List.iter
+          (fun s -> Format.printf "    %a@." E.Perf.pp_sample s)
+          samples;
+        { E.Perf.sc_name = name; sc_samples = samples })
+      scenarios
+  in
+  E.Perf.write_json ~path:perf_json measured;
+  Printf.printf "  wrote %s\n%!" perf_json;
+  let naive = E.Perf.grand_naive_seconds measured in
+  let ff = E.Perf.grand_ff_seconds measured in
+  Printf.printf "  total: naive %.2fs, fast-forward %.2fs (speedup %.2fx)\n%!"
+    naive ff
+    (naive /. Float.max ff 1e-9);
+  if ff > perf_gate *. naive then begin
+    Printf.eprintf
+      "bench: fast-forward run is >%.0f%% slower than the naive loop \
+       (%.2fs vs %.2fs)\n%!"
+      ((perf_gate -. 1.0) *. 100.0)
+      ff naive;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Golden-metrics drift gate (--golden-check / --golden-update)        *)
 (* ------------------------------------------------------------------ *)
 
@@ -311,29 +379,49 @@ module Json = Occamy_util.Json
 
 let golden_path = Filename.concat (Filename.concat "test" "golden") "metrics.json"
 
+let golden_core_keys cores =
+  List.concat
+    (List.init cores (fun c ->
+         List.map
+           (Printf.sprintf "core%d.%s" c)
+           [ "finish"; "issued_compute"; "issued_mem"; "reconfigs" ]))
+
+let golden_sim_keys =
+  [ "sim.total_cycles"; "sim.simd_util"; "sim.busy_lane_cycles";
+    "sim.replans"; "mem.veccache.bytes"; "mem.l2.bytes"; "mem.dram.bytes" ]
+
+(* Two gated machines: the 2-core motivating pair (unprefixed keys, the
+   original gate) and the first 4-core group of §7.6 at a reduced trip
+   count (keys under "4core.") — so 4-core partitioning drift is caught
+   by the same check. *)
 let golden_metrics () =
-  let cfg = Config.default in
-  let wls = Occamy_workloads.Motivating.pair () in
-  let per_arch =
-    Occamy_util.Domain_pool.map ~jobs
-      (fun arch -> (arch, Occamy_core.Sim.simulate ~cfg ~arch wls))
-      Arch.all
+  let machines =
+    [
+      ("", Config.default, Occamy_workloads.Motivating.pair ());
+      ( "4core.",
+        Config.four_core,
+        Occamy_workloads.Suite.compile_group ~tc_scale:0.3
+          (List.hd Occamy_workloads.Suite.four_core_groups) );
+    ]
   in
   List.concat_map
-    (fun (arch, m) ->
-      let cs = Occamy_core.Metrics.counters m in
-      let key name = Printf.sprintf "%s.%s" (Arch.name arch) name in
-      let keys =
-        [ "sim.total_cycles"; "sim.simd_util"; "sim.busy_lane_cycles";
-          "sim.replans"; "core0.finish"; "core0.issued_compute";
-          "core0.issued_mem"; "core0.reconfigs"; "core1.finish";
-          "core1.issued_compute"; "core1.issued_mem"; "core1.reconfigs";
-          "mem.veccache.bytes"; "mem.l2.bytes"; "mem.dram.bytes" ]
+    (fun (prefix, cfg, wls) ->
+      let per_arch =
+        Occamy_util.Domain_pool.map ~jobs
+          (fun arch -> (arch, Occamy_core.Sim.simulate ~cfg ~arch wls))
+          Arch.all
       in
-      List.map
-        (fun k -> (key k, Json.Num (Occamy_obs.Counters.get_exn cs k)))
-        keys)
-    per_arch
+      let keys = golden_sim_keys @ golden_core_keys cfg.Config.cores in
+      List.concat_map
+        (fun (arch, m) ->
+          let cs = Occamy_core.Metrics.counters m in
+          List.map
+            (fun k ->
+              ( Printf.sprintf "%s%s.%s" prefix (Arch.name arch) k,
+                Json.Num (Occamy_obs.Counters.get_exn cs k) ))
+            keys)
+        per_arch)
+    machines
 
 let run_golden_update () =
   ensure_dir "test";
@@ -421,4 +509,5 @@ let () =
   timed "fig12" run_fig12;
   timed "ablations" run_ablations;
   timed "micro" run_micro;
+  timed "perf" run_perf;
   print_endline "\nAll requested sections completed."

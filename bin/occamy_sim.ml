@@ -121,6 +121,34 @@ let gantt_arg =
     & info [ "gantt" ]
         ~doc:"Print an ASCII phase Gantt chart of the run per architecture.")
 
+let perf_arg =
+  Arg.(
+    value & flag
+    & info [ "perf" ]
+        ~doc:
+          "Instead of printing simulation results, time the workload under \
+           both simulation loops (the naive tick loop and event-horizon \
+           fast-forwarding), print per-architecture throughput and skip \
+           ratios, and write $(b,BENCH_perf.json). The two loops are \
+           cross-checked for bit-identical metrics as part of the \
+           measurement.")
+
+(* --perf mode: time naive vs fast-forward on the selected pair and
+   persist the samples. Timings must not contend, so this path is
+   sequential and ignores --jobs. *)
+let run_perf ~name arch wls_of =
+  let module Perf = Occamy_experiments.Perf in
+  let wls = wls_of () in
+  let samples =
+    match arch with
+    | Some a -> [ Perf.measure ~repeat:3 ~arch:a wls ]
+    | None -> Perf.measure_all ~repeat:3 wls
+  in
+  List.iter (fun s -> Fmt.pr "%a@." Perf.pp_sample s) samples;
+  let path = "BENCH_perf.json" in
+  Perf.write_json ~path [ { Perf.sc_name = name; sc_samples = samples } ];
+  Fmt.pr "wrote %s@." path
+
 (* Per-arch output path: a single-architecture run writes PATH exactly;
    a multi-arch run writes out.json -> out.occamy.json etc. *)
 let arch_path path ~multi a =
@@ -192,7 +220,7 @@ let run_cmd =
              $(b,occamy-sim list). Prefix with ocv: for the OpenCV pairs, \
              e.g. ocv:6+1.")
   in
-  let run pair arch jobs trace_json trace_csv gantt =
+  let run pair arch jobs trace_json trace_csv gantt perf =
     let lookup label =
       if String.length label > 4 && String.sub label 0 4 = "ocv:" then
         let l = String.sub label 4 (String.length label - 4) in
@@ -208,8 +236,11 @@ let run_cmd =
       Fmt.pr "pair %s: %s on Core0, %s on Core1@." p.Suite.label
         (Suite.source_name p.Suite.core0)
         (Suite.source_name p.Suite.core1);
-      run_archs ~jobs:(resolve_jobs jobs) ~trace_json ~trace_csv ~gantt arch
-        (fun () -> Suite.compile_pair p);
+      let wls_of () = Suite.compile_pair p in
+      if perf then run_perf ~name:pair arch wls_of
+      else
+        run_archs ~jobs:(resolve_jobs jobs) ~trace_json ~trace_csv ~gantt
+          arch wls_of;
       `Ok ()
   in
   Cmd.v
@@ -217,17 +248,21 @@ let run_cmd =
     Term.(
       ret
         (const run $ pair_arg $ arch_arg $ jobs_arg $ trace_arg
-       $ trace_csv_arg $ gantt_arg))
+       $ trace_csv_arg $ gantt_arg $ perf_arg))
 
 let motivating_cmd =
-  let run arch jobs trace_json trace_csv gantt =
-    run_archs ~jobs:(resolve_jobs jobs) ~trace_json ~trace_csv ~gantt arch
-      (fun () -> Occamy_workloads.Motivating.pair ())
+  let run arch jobs trace_json trace_csv gantt perf =
+    let wls_of () = Occamy_workloads.Motivating.pair () in
+    if perf then run_perf ~name:"motivating" arch wls_of
+    else
+      run_archs ~jobs:(resolve_jobs jobs) ~trace_json ~trace_csv ~gantt arch
+        wls_of
   in
   Cmd.v
     (Cmd.info "motivating" ~doc:"Run the Figure 2 motivating example")
     Term.(
-      const run $ arch_arg $ jobs_arg $ trace_arg $ trace_csv_arg $ gantt_arg)
+      const run $ arch_arg $ jobs_arg $ trace_arg $ trace_csv_arg $ gantt_arg
+      $ perf_arg)
 
 (* ---------------- list --------------------------------------------- *)
 
@@ -381,19 +416,43 @@ let fuzz_cmd =
           ~doc:"Root seed of the campaign; case $(i,i) derives its replay \
                 seed purely from (S, i).")
   in
+  (* Like --jobs: a nonsensical value must be a usage error, not a
+     silently successful zero-case campaign. *)
+  let count_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | Some n ->
+        Error (`Msg (Printf.sprintf "invalid case count %d (must be >= 0)" n))
+      | None -> Error (`Msg (Printf.sprintf "invalid case count %S" s))
+    in
+    Arg.conv (parse, Fmt.int)
+  in
   let count_arg =
     Arg.(
-      value & opt int 200
-      & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of cases to run.")
+      value & opt count_conv 200
+      & info [ "n"; "count" ] ~docv:"N"
+          ~doc:"Number of cases to run. Must be >= 0.")
+  in
+  let minutes_conv =
+    let parse s =
+      match float_of_string_opt s with
+      | Some m when m > 0.0 -> Ok m
+      | Some m ->
+        Error (`Msg (Printf.sprintf "invalid duration %g (must be > 0)" m))
+      | None -> Error (`Msg (Printf.sprintf "invalid duration %S" s))
+    in
+    Arg.conv (parse, Fmt.float)
   in
   let minutes_arg =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some minutes_conv) None
       & info [ "minutes" ] ~docv:"M"
           ~doc:
             "Run batches of fresh cases until $(docv) minutes elapse \
-             instead of a fixed count (the nightly deep-fuzz mode).")
+             instead of a fixed count (the nightly deep-fuzz mode). \
+             Must be > 0.")
   in
   let case_arg =
     Arg.(

@@ -16,6 +16,12 @@ let entries =
     { name = "reduction-mix"; seed = 11 };
     (* fminv over a guarded division, store with a d[i-2] tap. *)
     { name = "deep-guarded-div"; seed = 12 };
+    (* sqrt/div chains over tc<=4 phases: every arch goes quiescent long
+       enough for the fast-forward skip path (test_check asserts so). *)
+    { name = "quiescent-sqrt-chain"; seed = 16 };
+    (* tc=233 with fmaxv+fminv drains — long Vred pipeline-drain waits
+       hit the skip path on all four architectures. *)
+    { name = "quiescent-vred-drain"; seed = 221 };
   ]
 
 let replay e = Diff.run (Diff.case_of_seed e.seed)

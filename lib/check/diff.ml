@@ -204,10 +204,30 @@ let run_interp ~stage ~eps ?env wl want_tbl init_tbl =
 
 let run_sim ~arch ~cfg ~expected_bytes wl =
   match
-    let trace = Trace.for_sim ~cores:cfg.Config.cores () in
     let workloads = List.init cfg.Config.cores (fun _ -> wl) in
-    let m = Sim.simulate ~cfg ~trace ~arch workloads in
+    (* Run both tick loops — naive and event-horizon fast-forwarding —
+       so every fuzz case doubles as a sim-vs-sim equivalence check. *)
+    let run fast_forward =
+      let trace = Trace.for_sim ~cores:cfg.Config.cores () in
+      let m =
+        Sim.simulate ~cfg:{ cfg with Config.fast_forward } ~trace ~arch
+          workloads
+      in
+      (m, trace)
+    in
+    let m_naive, trace_naive = run false in
+    let m, trace = run true in
     let stage = "sim/" ^ Arch.name arch in
+    let* () =
+      match Invariant.check_equivalent m_naive m with
+      | Ok () -> Ok ()
+      | Error msg -> failf stage "fast-forward diverged from naive loop: %s" msg
+    in
+    let* () =
+      match Invariant.check_same_trace trace_naive trace with
+      | Ok () -> Ok ()
+      | Error msg -> failf stage "fast-forward trace diverged: %s" msg
+    in
     let* () =
       match Invariant.check_run ~cfg ~arch ~trace m with
       | Ok () -> Ok ()

@@ -10,8 +10,10 @@
       (suggested width churning, requests randomly refused), computes
       what {!Occamy_compiler.Reference} computes — the paper's §6.4
       correctness property, within a reduction-reassociation tolerance;
-    + the cycle simulator runs it on all four architectures without
-      tripping a structural {!Invariant};
+    + the cycle simulator runs it on all four architectures — under both
+      the naive tick loop and the event-horizon fast-forwarding loop
+      ([Config.fast_forward]), which must agree bit-for-bit on metrics
+      and trace streams — without tripping a structural {!Invariant};
     + the simulator's observed vector-memory traffic equals the static
       Equation-5 prediction ([issue_bytes x trips x reps] per vectorized
       phase, per core) — tying {!Occamy_compiler.Analysis} to what the

@@ -102,6 +102,15 @@ let batch_size jobs = max 16 (jobs * 8)
 
 let run ?gen_cfg ?inject_name ?minutes ?(on_batch = fun ~done_:_ -> ()) ~seed
     ~count ~jobs () =
+  (* A negative count or a non-positive deadline would silently run zero
+     cases and report success; reject both loudly, like Domain_pool does
+     for its job count. *)
+  if count < 0 then
+    invalid_arg (Printf.sprintf "Fuzz.run: negative count %d" count);
+  (match minutes with
+  | Some m when m <= 0.0 ->
+    invalid_arg (Printf.sprintf "Fuzz.run: minutes %g (must be > 0)" m)
+  | _ -> ());
   let inject = resolve_inject inject_name in
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun m -> t0 +. (m *. 60.0)) minutes in

@@ -55,7 +55,10 @@ val run :
 (** A fuzzing campaign: [count] cases (when [minutes] is given, repeated
     batches of fresh cases until the deadline instead), [jobs]-way
     parallel. Stops at the first failing batch; within it the
-    lowest-index failure is shrunk. [on_batch] reports progress. *)
+    lowest-index failure is shrunk. [on_batch] reports progress.
+
+    @raise Invalid_argument if [count] is negative or [minutes] is not
+    strictly positive — either would silently run zero cases. *)
 
 val repro_command : ?inject_name:string -> int -> string
 (** The self-contained command that replays a case seed. *)

@@ -312,3 +312,69 @@ let check_run ~cfg ~arch ~trace m =
   let* () = check_metrics ~cfg m in
   let* () = check_counters m in
   check_trace ~cfg ~arch trace
+
+(* ------------------------------------------------------------------ *)
+(* Sim-vs-sim equivalence (fast-forward on vs off)                     *)
+(* ------------------------------------------------------------------ *)
+
+let check_equivalent m_ref m_got =
+  if m_ref = m_got then Ok ()
+  else begin
+    (* Name the first diverging counter; fall back to a generic report
+       when the divergence hides in a field the registry doesn't carry
+       (e.g. a phase list or timeline). *)
+    let cs_ref = Metrics.counters m_ref and cs_got = Metrics.counters m_got in
+    let diverging =
+      List.find_opt
+        (fun (name, v) -> Counters.get cs_got name <> Some v)
+        (Counters.to_list cs_ref)
+    in
+    match diverging with
+    | Some (name, v) ->
+      let got =
+        match Counters.get cs_got name with
+        | Some w -> Printf.sprintf "%.17g" w
+        | None -> "missing"
+      in
+      failf "counter %s: %.17g vs %s" name v got
+    | None -> failf "metrics records differ outside the counters registry"
+  end
+
+let check_same_trace tr_ref tr_got =
+  if Trace.enabled tr_ref <> Trace.enabled tr_got then
+    failf "one trace is enabled, the other is not"
+  else if not (Trace.enabled tr_ref) then Ok ()
+  else if Trace.num_tracks tr_ref <> Trace.num_tracks tr_got then
+    failf "trace has %d tracks vs %d" (Trace.num_tracks tr_ref)
+      (Trace.num_tracks tr_got)
+  else
+    all_ok
+      (List.init (Trace.num_tracks tr_ref) (fun track ->
+           let name = Trace.track_name tr_ref ~track in
+           if name <> Trace.track_name tr_got ~track then
+             failf "track %d named %s vs %s" track name
+               (Trace.track_name tr_got ~track)
+           else if Trace.dropped tr_ref ~track <> Trace.dropped tr_got ~track
+           then
+             failf "%s: dropped %d events vs %d" name
+               (Trace.dropped tr_ref ~track)
+               (Trace.dropped tr_got ~track)
+           else
+             let evs_ref = Trace.events tr_ref ~track in
+             let evs_got = Trace.events tr_got ~track in
+             let rec cmp i r g =
+               match (r, g) with
+               | [], [] -> Ok ()
+               | (c, e) :: _, [] ->
+                 failf "%s: event %d (@%d %a) missing from second trace" name
+                   i c Event.pp e
+               | [], (c, e) :: _ ->
+                 failf "%s: second trace has extra event %d (@%d %a)" name i
+                   c Event.pp e
+               | (c1, e1) :: r', (c2, e2) :: g' ->
+                 if c1 <> c2 || e1 <> e2 then
+                   failf "%s: event %d is @%d %a vs @%d %a" name i c1
+                     Event.pp e1 c2 Event.pp e2
+                 else cmp (i + 1) r' g'
+             in
+             cmp 0 evs_ref evs_got))

@@ -46,3 +46,17 @@ val check_run :
   Occamy_core.Metrics.t ->
   (unit, string) result
 (** All of the above; the first failure wins. *)
+
+val check_equivalent :
+  Occamy_core.Metrics.t -> Occamy_core.Metrics.t -> (unit, string) result
+(** Bit-identical structural equality between two runs' metrics — the
+    sim-vs-sim oracle behind [Config.fast_forward]: the naive tick loop
+    and the event-horizon skipping loop must produce equal records. On
+    divergence the error names the first differing counter (falling back
+    to a generic report for fields outside the registry). *)
+
+val check_same_trace :
+  Occamy_obs.Trace.t -> Occamy_obs.Trace.t -> (unit, string) result
+(** Event-stream equality between two traces: same tracks, same drop
+    counts, and the same cycle-stamped events in the same order. The
+    error pinpoints the first differing event. *)

@@ -58,5 +58,14 @@ let release t =
     the freed RegBlks' contents are not preserved, §4.2.2). *)
 let release_all t = t.in_use <- 0
 
+(** Batch form of the stall accounting: [count] allocation attempts that
+    would all have failed (the freelist is exhausted and nothing releases
+    in between), recorded without [count] calls to {!alloc}. Lets the
+    fast-forward path keep the Figure 13 counters exact across skipped
+    cycles. *)
+let record_failures t ~count =
+  if count < 0 then invalid_arg "Freelist.record_failures: negative count";
+  t.failed_allocs <- t.failed_allocs + count
+
 let failed_allocs t = t.failed_allocs
 let peak_in_use t = t.peak

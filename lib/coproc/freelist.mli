@@ -18,5 +18,11 @@ val alloc : t -> bool
 
 val release : t -> unit
 val release_all : t -> unit
+
+val record_failures : t -> count:int -> unit
+(** Record [count] failed allocation attempts in one batch — the
+    fast-forward path's equivalent of [count] failing {!alloc} calls
+    across skipped stall cycles. *)
+
 val failed_allocs : t -> int
 val peak_in_use : t -> int

@@ -47,14 +47,29 @@ let add t ~done_at ~is_store ~mob_id =
   end;
   t.total_issued <- t.total_issued + 1
 
-(** Remove completed entries; returns the MOB ids to deallocate. *)
+(** Remove completed entries; returns the MOB ids to deallocate. The
+    nothing-completed case is the common one on stall-heavy cycles, so it
+    is detected first without allocating. *)
 let retire t ~now =
-  let split l = List.partition (fun e -> e.done_at <= now) l in
-  let done_l, loads = split t.loads in
-  let done_s, stores = split t.stores in
-  t.loads <- loads;
-  t.stores <- stores;
-  List.filter_map (fun e -> e.mob_id) (done_l @ done_s)
+  let completed e = e.done_at <= now in
+  if not (List.exists completed t.loads || List.exists completed t.stores)
+  then []
+  else begin
+    let split l = List.partition completed l in
+    let done_l, loads = split t.loads in
+    let done_s, stores = split t.stores in
+    t.loads <- loads;
+    t.stores <- stores;
+    List.filter_map (fun e -> e.mob_id) (done_l @ done_s)
+  end
+
+(** Earliest cycle at which any in-flight operation completes; [max_int]
+    when drained. Used to bound the fast-forward event horizon. *)
+let next_done_at t =
+  let min_done acc e = if e.done_at < acc then e.done_at else acc in
+  List.fold_left min_done
+    (List.fold_left min_done max_int t.loads)
+    t.stores
 
 let outstanding t = List.length t.loads + List.length t.stores
 let outstanding_loads t = List.length t.loads

@@ -11,6 +11,10 @@ val add : t -> done_at:int -> is_store:bool -> mob_id:int option -> unit
 val retire : t -> now:int -> int list
 (** Remove completed entries; returns their MOB ids to deallocate. *)
 
+val next_done_at : t -> int
+(** Earliest completion cycle among in-flight operations; [max_int] when
+    drained. Bounds the fast-forward event horizon. *)
+
 val outstanding : t -> int
 val outstanding_loads : t -> int
 val outstanding_stores : t -> int

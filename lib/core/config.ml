@@ -33,6 +33,11 @@ type t = {
   cs_away_cycles : int;
       (** how long a context-switched task stays descheduled before the
           OS restores it (§5) *)
+  fast_forward : bool;
+      (** event-horizon cycle skipping: when every core is provably
+          quiescent until the next event, jump [Sim] there in one step.
+          Results are bit-identical either way; [false] keeps the naive
+          tick loop (the reference the equivalence suite diffs against) *)
   max_cycles : int;         (** simulation safety bound *)
   seed : int;               (** RNG seed for access-level sampling *)
 }
@@ -57,6 +62,7 @@ let default =
     mem = Occamy_mem.Hierarchy.default_config;
     prefetch = true;
     cs_away_cycles = 3000;
+    fast_forward = true;
     max_cycles = 20_000_000;
     seed = 42;
   }

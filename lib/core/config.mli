@@ -23,6 +23,10 @@ type t = {
   prefetch : bool;          (** unit-stride stream prefetcher *)
   cs_away_cycles : int;     (** descheduled time of a context-switched
                                 task before the OS restores it (§5) *)
+  fast_forward : bool;      (** event-horizon cycle skipping; results are
+                                bit-identical to the naive tick loop
+                                ([false]), which is kept as the reference
+                                for the sim-vs-sim equivalence suite *)
   max_cycles : int;         (** simulation safety bound *)
   seed : int;
 }

@@ -115,6 +115,10 @@ type core_state = {
   freelist : Freelist.t;       (* per-core or shared, per architecture *)
   lsu : Lsu.t;
   mutable vl : int;            (* granules currently held *)
+  mutable owned_units : int list;
+      (* cached Dispatcher.Cfg view of this core's ExeBUs; refreshed only
+         when the assignment changes, so the per-cycle issue scan does
+         not rebuild it *)
   (* statistics *)
   mutable issued_compute : int;
   mutable issued_mem : int;
@@ -146,9 +150,23 @@ type t = {
   exebus : Exebu.t;
   lane_mgr : Lane_mgr.t option;  (* Occamy only *)
   rng : Rng.t;
+  all_units : int list;  (* every ExeBU id, for the shared-port archs *)
   mutable cycle : int;
   mutable busy_lane_cycles : float;
   mutable replans : int;
+  (* fast-forward bookkeeping (reported, never fed back into timing) *)
+  mutable ff_skipped : int;  (* cycles advanced without stepping *)
+  mutable ff_jumps : int;    (* number of fast-forward jumps *)
+  mutable work_cycle : int;
+      (* last cycle on which the machine did any work (executed,
+         transmitted, renamed, issued or retired something). Gates the
+         horizon computation: a cycle that did work almost certainly has
+         a successor event, so don't bother scanning for a skip. Purely
+         a filter on *attempting* skips — never affects timing. *)
+  mutable ff_quiet_until : int;
+      (* a horizon pass proved no state change strictly before this
+         cycle; don't re-scan until we get there. Like [work_cycle],
+         only a filter on attempts. *)
   (* per-cycle issue budgets; for FTS index 0 is the shared domain *)
   compute_budget : int array;
   mem_budget : int array;
@@ -204,6 +222,7 @@ let make_core cfg arch ~shared_freelist id wl =
       Lsu.create ~load_capacity:cfg.Config.lsu_load_capacity
         ~store_capacity:cfg.Config.lsu_store_capacity ();
     vl = 0;
+    owned_units = [];
     issued_compute = 0;
     issued_mem = 0;
     rename_stalls = 0;
@@ -333,9 +352,14 @@ let create ?(cfg = Config.default) ?(trace = Trace.disabled) ?decisions
     exebus = Exebu.create ~units:cfg.exebus ~pipes_per_unit:cfg.pipes_per_exebu;
     lane_mgr;
     rng = Rng.create ~seed:cfg.seed;
+    all_units = List.init cfg.exebus Fun.id;
     cycle = 0;
     busy_lane_cycles = 0.0;
     replans = (match arch with Arch.Vls -> 1 | _ -> 0);
+    ff_skipped = 0;
+    ff_jumps = 0;
+    work_cycle = -1;
+    ff_quiet_until = 0;
     compute_budget = Array.make domains 0;
     mem_budget = Array.make domains 0;
     bucket_width = 1000;
@@ -346,6 +370,13 @@ let create ?(cfg = Config.default) ?(trace = Trace.disabled) ?decisions
   }
 
 let domain t core = if Arch.shares_issue_ports t.arch then 0 else core
+
+(* Re-derive the cached ExeBU ownership list; must be called after every
+   Dispatcher.Cfg change for [c] (reconfiguration grants and
+   context-switch releases). [reassign] never touches other cores'
+   units, so only the reconfigured core needs refreshing. *)
+let refresh_owned_units t c =
+  c.owned_units <- Config_tbl.owned_by t.exebu_cfg ~core:c.id
 
 (* ------------------------------------------------------------------ *)
 (* Trace recording                                                     *)
@@ -422,6 +453,7 @@ let resolve_vl_request t c l =
     if Rtbl.try_set_vl t.rtbl ~core:c.id l then begin
       Config_tbl.reassign t.exebu_cfg ~core:c.id ~count:l;
       Config_tbl.reassign t.regblk_cfg ~core:c.id ~count:l;
+      refresh_owned_units t c;
       Log.debug (fun m ->
           m "cycle %d: core%d reconfigured to %d granules" t.cycle c.id l);
       c.vl <- l;
@@ -710,7 +742,13 @@ let step_frontend t c =
       end
     done;
     if !budget = 0 && !saw_monitor then
-      c.monitor_stall_cycles <- c.monitor_stall_cycles + 1
+      c.monitor_stall_cycles <- c.monitor_stall_cycles + 1;
+    (* Transmits do not consume [budget], so both budgets decide whether
+       the front-end did anything this cycle. *)
+    if
+      !budget < t.cfg.frontend_width
+      || !transmit_budget < t.cfg.transmit_width
+    then t.work_cycle <- t.cycle
   end
 
 (* ------------------------------------------------------------------ *)
@@ -728,7 +766,7 @@ let rename t c =
       && Occamy_util.Bounded_queue.length c.pool > 0
       && Queue.length c.rob < t.cfg.window
     do
-      let pe = Option.get (Occamy_util.Bounded_queue.peek_opt c.pool) in
+      let pe = Occamy_util.Bounded_queue.peek c.pool in
       let needs_row =
         match pe with
         | Pload _ | Pcompute _ | Pdup _ -> true
@@ -817,7 +855,8 @@ let rename t c =
         Queue.push entry c.rob;
         incr renamed
       end
-    done
+    done;
+    if !renamed > 0 then t.work_cycle <- t.cycle
   end
 
 (* ------------------------------------------------------------------ *)
@@ -828,6 +867,7 @@ let entry_ready now e =
   List.for_all (fun p -> p.issued && p.done_at <= now) e.srcs
 
 let record_compute_issue t c width =
+  t.work_cycle <- t.cycle;
   c.issued_compute <- c.issued_compute + 1;
   (match c.cur_phase with
   | Some pa -> pa.pa_compute <- pa.pa_compute + 1
@@ -842,7 +882,8 @@ let record_compute_issue t c width =
   t.busy_lane_cycles <- t.busy_lane_cycles +. lanes;
   Buckets.add c.lanes_buckets ~cycle:t.cycle lanes
 
-let record_mem_issue _t c =
+let record_mem_issue t c =
+  t.work_cycle <- t.cycle;
   c.issued_mem <- c.issued_mem + 1;
   match c.cur_phase with
   | Some pa -> pa.pa_mem <- pa.pa_mem + 1
@@ -853,9 +894,7 @@ exception Ports_exhausted
 let rec issue_core t c =
   let dom = domain t c.id in
   let owned_units =
-    if Arch.shares_issue_ports t.arch then
-      List.init t.cfg.exebus Fun.id
-    else Config_tbl.owned_by t.exebu_cfg ~core:c.id
+    if Arch.shares_issue_ports t.arch then t.all_units else c.owned_units
   in
   try issue_core_scan t c ~dom ~owned_units
   with Ports_exhausted -> ()
@@ -934,14 +973,20 @@ and issue_core_scan t c ~dom ~owned_units =
 (* ------------------------------------------------------------------ *)
 
 let retire t c =
-  List.iter (fun id -> Mob.remove t.mob id) (Lsu.retire c.lsu ~now:t.cycle);
+  (match Lsu.retire c.lsu ~now:t.cycle with
+  | [] -> ()
+  | ids ->
+    t.work_cycle <- t.cycle;
+    List.iter (fun id -> Mob.remove t.mob id) ids);
   let continue_ = ref true in
-  while !continue_ do
-    match Queue.peek_opt c.rob with
-    | Some e when e.issued && e.done_at <= t.cycle ->
+  while !continue_ && not (Queue.is_empty c.rob) do
+    let e = Queue.peek c.rob in
+    if e.issued && e.done_at <= t.cycle then begin
       ignore (Queue.pop c.rob);
+      t.work_cycle <- t.cycle;
       if e.has_row then Freelist.release c.freelist
-    | _ -> continue_ := false
+    end
+    else continue_ := false
   done
 
 (* ------------------------------------------------------------------ *)
@@ -1011,6 +1056,7 @@ let step_context_switch t c =
         ignore (Rtbl.try_set_vl t.rtbl ~core:c.id 0);
         Config_tbl.release_all t.exebu_cfg ~core:c.id;
         Config_tbl.release_all t.regblk_cfg ~core:c.id;
+        refresh_owned_units t c;
         c.vl <- 0);
       Rtbl.set_oi t.rtbl ~core:c.id Oi.zero;
       (match t.lane_mgr with
@@ -1057,6 +1103,7 @@ let step_context_switch t c =
       if Rtbl.try_set_vl t.rtbl ~core:c.id target then begin
         Config_tbl.reassign t.exebu_cfg ~core:c.id ~count:target;
         Config_tbl.reassign t.regblk_cfg ~core:c.id ~count:target;
+        refresh_owned_units t c;
         c.vl <- target;
         c.reconfigs <- c.reconfigs + 1;
         c.cs_state <- Cs_running
@@ -1104,6 +1151,238 @@ let step t =
   sample_stats t;
   if t.cycle land 1023 = 0 then check_invariants t
 
+(* ------------------------------------------------------------------ *)
+(* Event-horizon fast-forwarding                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The skipping loop (gem5-style): after each step, compute a
+   conservative *event horizon* — the earliest future cycle at which any
+   core can change state — and when that horizon is beyond the next
+   cycle, advance [t.cycle] and every per-cycle counter in one jump.
+
+   The proof obligation is bit-identical equivalence with the naive tick
+   loop ([Config.fast_forward = false]): during a skipped stretch no
+   instruction executes, transmits, renames, issues or retires, no RNG
+   is drawn, and no trace event fires, so the only per-cycle effects are
+   the deterministic counters batched by [fast_forward_to]. Anything the
+   horizon scan cannot prove inert raises [Horizon_now] and the
+   simulator just steps normally. The sim-vs-sim harness
+   (test_fastforward) and the nightly differential fuzzer hold both
+   loops to this equality on metrics, counters and trace streams. *)
+
+exception Horizon_now
+
+(* The front-end makes no progress this cycle iff its next instruction
+   is an SVE transmit that cannot be accepted: the transmit fails before
+   any budget is consumed, leaving pc and every counter untouched. The
+   [vl > 0] conjunct keeps the <VL>=0 error on its exact naive cycle. *)
+let frontend_blocked t c =
+  let code = c.wl.Workload.program.Program.code in
+  c.pc < Array.length code
+  && c.vl > 0
+  && (match code.(c.pc) with
+     | Instr.Vload _ | Instr.Vstore _ | Instr.Vop _ | Instr.Vdup _ -> true
+     | _ -> false)
+  && (Occamy_util.Bounded_queue.is_full c.pool || t.cfg.transmit_width <= 0)
+
+(* Post-step rename state: able to progress next cycle (an event),
+   deterministically stalled on an exhausted freelist (one counted
+   failed attempt per cycle), or inert (empty pool / full window). *)
+type rename_quiescence = Rq_inert | Rq_stalled | Rq_progress
+
+let rename_quiescence t c =
+  if
+    t.cfg.rename_width <= 0
+    || Occamy_util.Bounded_queue.is_empty c.pool
+    || Queue.length c.rob >= t.cfg.window
+  then Rq_inert
+  else
+    let needs_row =
+      match Occamy_util.Bounded_queue.peek c.pool with
+      | Pload _ | Pcompute _ | Pdup _ -> true
+      | Pstore _ -> false
+    in
+    if needs_row && Freelist.free c.freelist = 0 then Rq_stalled
+    else Rq_progress
+
+(* Earliest cycle at which any core can change state; raises
+   [Horizon_now] when something may act on the very next cycle. Purely
+   observational — it must not mutate simulator state (no RNG draws, no
+   [try_set_vl] attempts), or replaying the skipped cycles would
+   diverge. Two passes: the cheap front-end/scheduling checks first so
+   the common "a core is actively executing" case bails before any
+   window scan. *)
+let horizon t =
+  let now = t.cycle in
+  let ev = ref max_int in
+  let note x =
+    if x <= now + 1 then raise_notrace Horizon_now
+    else if x < !ev then ev := x
+  in
+  Array.iter
+    (fun c ->
+      (match c.cs_state with
+      | Cs_running ->
+        if c.halted then begin
+          (* A halted core still consumes one stale schedule entry per
+             cycle. *)
+          if c.cs_schedule <> [] then raise_notrace Horizon_now
+        end
+        else begin
+          (match c.cs_schedule with s :: _ -> note s | [] -> ());
+          if c.pending_vl <> None || c.pending_red then begin
+            (* Blocked on the drain; the moment it completes the request
+               resolves / the reduction unblocks. Drain progress is
+               bounded by the pipeline events scanned below. *)
+            if pipeline_drained c then raise_notrace Horizon_now
+          end
+          else if not (frontend_blocked t c) then raise_notrace Horizon_now
+        end
+      | Cs_draining ->
+        (* Transitions (and resolves any pending <VL>) once drained. *)
+        if pipeline_drained c then raise_notrace Horizon_now
+      | Cs_away { resume_at; _ } -> note resume_at
+      | Cs_restoring { saved_vl } -> (
+        match t.arch with
+        | Arch.Fts -> raise_notrace Horizon_now
+        | _ ->
+          let target =
+            match t.arch with
+            | Arch.Occamy -> max 1 (Rtbl.decision t.rtbl ~core:c.id)
+            | _ -> saved_vl
+          in
+          (* Feasible -> granted next cycle. Infeasible -> stable until
+             another core releases lanes, itself an event; the naive
+             loop's failing [try_set_vl] per cycle only rewrites
+             <status> to the value it already has. *)
+          if Rtbl.vl t.rtbl ~core:c.id + Rtbl.al t.rtbl >= target then
+            raise_notrace Horizon_now));
+      match rename_quiescence t c with
+      | Rq_progress -> raise_notrace Horizon_now
+      | Rq_inert | Rq_stalled -> ())
+    t.cores;
+  Array.iter
+    (fun c ->
+      (* Next memory completion ([max_int] when drained is inert). *)
+      note (Lsu.next_done_at c.lsu);
+      (* The window head retires the cycle after it completes. *)
+      (match Queue.peek_opt c.rob with
+      | Some e when e.issued && e.done_at <= now -> raise_notrace Horizon_now
+      | _ -> ());
+      Queue.iter
+        (fun e ->
+          if e.issued then begin
+            (* Completes at [done_at]; already-complete non-head entries
+               (senior stores) retire with the head, an event of its
+               own. *)
+            if e.done_at > now then note e.done_at
+          end
+          else if List.for_all (fun p -> p.issued) e.srcs then begin
+            let rdy =
+              List.fold_left (fun acc p -> max acc p.done_at) 0 e.srcs
+            in
+            if rdy > now then note rdy
+            else
+              match e.kind with
+              | Kcompute _ | Kdup ->
+                (* Ready compute: ports and ExeBU slots refresh every
+                   cycle, so it can issue next cycle. *)
+                raise_notrace Horizon_now
+              | Kload | Kstore ->
+                let is_store = e.kind = Kstore in
+                if
+                  Lsu.can_accept c.lsu ~is_store
+                  && (not (Mob.is_full t.mob))
+                  && not
+                       (Mob.conflicts t.mob ~arr:e.arr ~base:e.base
+                          ~len:e.elems ~is_store)
+                then raise_notrace Horizon_now
+                (* else blocked on LSU/MOB occupancy or an address
+                   conflict: that state only changes at a memory
+                   completion, noted above for every core. *)
+          end
+          (* Unissued with an unissued producer: bounded by the
+             producer's own entry, scanned in this same pass. *))
+        c.rob)
+    t.cores;
+  !ev
+
+(* Jump to [target] (exclusive of the step that will execute
+   [target + 1]), batching exactly the per-cycle effects the naive loop
+   would have accumulated over cycles [t.cycle+1 .. target]. *)
+let fast_forward_to t ~target =
+  let k = target - t.cycle in
+  Array.iter
+    (fun c ->
+      (* Front-end blocked on MSR <VL>: one counted cycle each tick. *)
+      if c.cs_state = Cs_running && (not c.halted) && c.pending_vl <> None
+      then c.blocked_vl_cycles <- c.blocked_vl_cycles + k;
+      (* Deterministic rename stall: one failed allocation per cycle. *)
+      (match rename_quiescence t c with
+      | Rq_stalled ->
+        c.rename_stalls <- c.rename_stalls + k;
+        (match c.cur_phase with
+        | Some pa -> pa.pa_stalls <- pa.pa_stalls + k
+        | None -> ());
+        Freelist.record_failures c.freelist ~count:k;
+        if tracing t then begin
+          (* The episode detector would have seen the first batched
+             stall at cycle+1; keep its start stamp and its
+             already-counted baseline exact. *)
+          if t.obs_stall_start.(c.id) < 0 then
+            t.obs_stall_start.(c.id) <- t.cycle + 1;
+          t.obs_prev_stalls.(c.id) <- c.rename_stalls
+        end
+      | Rq_inert | Rq_progress -> ());
+      (* Per-cycle sampling ([sample_stats]) for live cores. *)
+      if not c.halted then begin
+        Buckets.add_run c.vl_buckets ~cycle:(t.cycle + 1) ~len:k
+          (float_of_int c.vl);
+        match c.cur_phase with
+        | Some pa ->
+          pa.pa_vl_sum <- pa.pa_vl_sum + (k * c.vl);
+          pa.pa_cycles <- pa.pa_cycles + k
+        | None -> ()
+      end)
+    t.cores;
+  (* The naive loop checks invariants at multiples of 1024; state is
+     constant across the jump, so one check at the far end is
+     equivalent whenever the jump crosses such a boundary. *)
+  let crossed_check = target lsr 10 > t.cycle lsr 10 in
+  t.cycle <- target;
+  t.ff_skipped <- t.ff_skipped + k;
+  t.ff_jumps <- t.ff_jumps + 1;
+  if crossed_check then check_invariants t
+
+(* Smallest jump worth taking: batching the counters for a 1–2 cycle
+   skip costs more than stepping those cycles naively. *)
+let ff_min_jump = 8
+
+let try_fast_forward t =
+  (* A cycle that did any work almost certainly has a successor event on
+     the very next cycle, so scanning for a horizon would be pure
+     overhead — only attempt a skip after provably idle cycles. (Purely
+     a filter on attempts: timing is unaffected either way.) *)
+  if
+    t.work_cycle <> t.cycle
+    && t.cycle >= t.ff_quiet_until
+    && t.cycle < t.cfg.max_cycles
+    && not (all_done t)
+  then
+    match horizon t with
+    | exception Horizon_now -> ()
+    | h ->
+      (* The next real step executes cycle [h] — or [max_cycles], where
+         the naive loop stops too (and, with no event in sight, reports
+         the same deadlock). Jumps below [ff_min_jump] cycles cost more
+         in batching than the skipped steps would have — let the naive
+         loop walk those (equivalence is unaffected; this only skips
+         less), and remember the proof so the inert cycles up to [h]
+         aren't re-scanned. *)
+      t.ff_quiet_until <- h;
+      let target = min (h - 1) (t.cfg.max_cycles - 1) in
+      if target - t.cycle >= ff_min_jump then fast_forward_to t ~target
+
 let core_result c =
   {
     Metrics.core = c.id;
@@ -1125,9 +1404,15 @@ let core_result c =
   }
 
 let run t =
-  while (not (all_done t)) && t.cycle < t.cfg.max_cycles do
-    step t
-  done;
+  if t.cfg.fast_forward then
+    while (not (all_done t)) && t.cycle < t.cfg.max_cycles do
+      step t;
+      try_fast_forward t
+    done
+  else
+    while (not (all_done t)) && t.cycle < t.cfg.max_cycles do
+      step t
+    done;
   if not (all_done t) then
     error "simulation exceeded %d cycles (deadlock or runaway loop?)"
       t.cfg.max_cycles;
@@ -1178,3 +1463,5 @@ let simulate ?cfg ?trace ?decisions ?context_switches ~arch workloads =
 
 let cycle t = t.cycle
 let config t = t.cfg
+let skipped_cycles t = t.ff_skipped
+let ff_jumps t = t.ff_jumps

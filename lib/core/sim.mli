@@ -58,3 +58,14 @@ val step : t -> unit
 
 val cycle : t -> int
 val config : t -> Config.t
+
+val skipped_cycles : t -> int
+(** Cycles advanced by event-horizon fast-forwarding instead of being
+    stepped ([Config.fast_forward]). Skipped cycles are provably inert:
+    metrics, counters and trace events are bit-identical to the naive
+    tick loop, which the sim-vs-sim equivalence suite enforces. 0 when
+    fast-forwarding is off. *)
+
+val ff_jumps : t -> int
+(** Number of fast-forward jumps taken ([skipped_cycles] spread over
+    this many horizon events). *)

@@ -21,6 +21,7 @@ let push t x =
   end
 
 let peek_opt t = Queue.peek_opt t.q
+let peek t = Queue.peek t.q
 let pop t = Queue.pop t.q
 let pop_opt t = Queue.take_opt t.q
 let clear t = Queue.clear t.q

@@ -14,6 +14,10 @@ val push : 'a t -> 'a -> bool
 
 val peek_opt : 'a t -> 'a option
 
+val peek : 'a t -> 'a
+(** Like {!peek_opt} but raises [Queue.Empty]; allocation-free, for the
+    per-cycle hot paths. *)
+
 val pop : 'a t -> 'a
 (** Dequeue; raises [Queue.Empty] when empty. *)
 

@@ -87,6 +87,26 @@ module Buckets = struct
     t.sums.(idx) <- t.sums.(idx) +. v;
     t.counts.(idx) <- t.counts.(idx) + 1
 
+  (** [add_run t ~cycle ~len v] accumulates [len] copies of sample [v],
+      one per cycle for cycles [cycle .. cycle+len-1], splitting the run
+      across bucket boundaries. Bit-identical to [len] successive [add]
+      calls as long as the per-bucket partial sums are exactly
+      representable — true for the simulator's integer-valued samples
+      (vector lengths, lane counts), whose sums stay far below 2^53. *)
+  let add_run t ~cycle ~len v =
+    if len < 0 then invalid_arg "Buckets.add_run: negative length";
+    let pos = ref cycle and left = ref len in
+    while !left > 0 do
+      let idx = !pos / t.width in
+      ensure t idx;
+      let bucket_end = (idx + 1) * t.width in
+      let m = Stdlib.min !left (bucket_end - !pos) in
+      t.sums.(idx) <- t.sums.(idx) +. (float_of_int m *. v);
+      t.counts.(idx) <- t.counts.(idx) + m;
+      pos := !pos + m;
+      left := !left - m
+    done
+
   (** Per-bucket sums divided by the bucket width — the "per cycle" rate
       used for lane-occupancy timelines. *)
   let rates t =

@@ -34,6 +34,13 @@ module Buckets : sig
   val add : t -> cycle:int -> float -> unit
   (** Accumulate one sample into the bucket containing [cycle]. *)
 
+  val add_run : t -> cycle:int -> len:int -> float -> unit
+  (** [add_run t ~cycle ~len v] accumulates [len] per-cycle copies of
+      [v] for cycles [cycle .. cycle+len-1] in one batch, splitting the
+      run across bucket boundaries. For integer-valued samples (as the
+      simulator records) this is bit-identical to [len] calls to
+      [add]. The fast-forward skip path relies on that equality. *)
+
   val rates : t -> float array
   (** Per-bucket sums divided by the bucket width: per-cycle rates. *)
 

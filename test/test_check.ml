@@ -126,6 +126,20 @@ let test_diff_catches_injected_bugs () =
         (report.Fuzz.counterexample <> None))
     Fuzz.injections
 
+let test_fuzz_rejects_invalid_args () =
+  (* A negative count or non-positive deadline used to run zero cases
+     and report success; both must now be rejected loudly, like
+     Domain_pool rejects a bad job count. *)
+  (match Fuzz.run ~seed:0 ~count:(-1) ~jobs:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative count accepted");
+  (match Fuzz.run ~minutes:0.0 ~seed:0 ~count:10 ~jobs:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero minutes accepted");
+  match Fuzz.run ~minutes:(-2.5) ~seed:0 ~count:10 ~jobs:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative minutes accepted"
+
 (* ---------------- Shrink ------------------------------------------- *)
 
 let find_counterexample ~inject_name =
@@ -190,6 +204,37 @@ let test_corpus_replays_clean () =
           f)
     Corpus.entries
 
+let test_corpus_hits_skip_path () =
+  (* The quiescent-* entries exist to keep the fast-forward skip path
+     under corpus coverage: replaying them must actually take jumps, on
+     every architecture. *)
+  let cfg = Occamy_core.Config.default in
+  List.iter
+    (fun name ->
+      let e =
+        List.find (fun (e : Corpus.entry) -> e.Corpus.name = name)
+          Corpus.entries
+      in
+      let c = Diff.case_of_seed e.Corpus.seed in
+      let wl =
+        Codegen.compile_workload ~options:c.Diff.options ~name
+          ~kind:Occamy_core.Workload.Mixed c.Diff.loops
+      in
+      let wls =
+        List.init cfg.Occamy_core.Config.cores (fun _ -> wl)
+      in
+      List.iter
+        (fun arch ->
+          let t = Occamy_core.Sim.create ~cfg ~arch wls in
+          ignore (Occamy_core.Sim.run t);
+          let skipped = Occamy_core.Sim.skipped_cycles t in
+          let total = Occamy_core.Sim.cycle t in
+          if skipped <= 0 || total <= 0 then
+            Alcotest.failf "%s on %s: skip ratio %d/%d is not positive" name
+              (Occamy_core.Arch.name arch) skipped total)
+        Occamy_core.Arch.all)
+    [ "quiescent-sqrt-chain"; "quiescent-vred-drain" ]
+
 let test_corpus_names_unique () =
   let names = List.map (fun (e : Corpus.entry) -> e.Corpus.name) Corpus.entries in
   Helpers.check_int "unique corpus names"
@@ -231,6 +276,8 @@ let suites =
       [
         Alcotest.test_case "clean cases pass" `Quick test_diff_clean_cases_pass;
         Alcotest.test_case "injected bugs caught" `Quick test_diff_catches_injected_bugs;
+        Alcotest.test_case "invalid campaign args rejected" `Quick
+          test_fuzz_rejects_invalid_args;
       ] );
     ( "check.shrink",
       [
@@ -246,6 +293,8 @@ let suites =
     ( "check.corpus",
       [
         Alcotest.test_case "replays clean" `Quick test_corpus_replays_clean;
+        Alcotest.test_case "quiescent entries hit the skip path" `Quick
+          test_corpus_hits_skip_path;
         Alcotest.test_case "unique names" `Quick test_corpus_names_unique;
       ] );
     ( "check.json",

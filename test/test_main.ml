@@ -5,4 +5,5 @@ let () =
    @ Test_coproc.suites @ Test_lanemgr.suites @ Test_compiler.suites
    @ Test_semantics.suites @ Test_sim.suites @ Test_area.suites
    @ Test_workloads.suites @ Test_experiments.suites @ Test_parallel.suites
-   @ Test_ordering.suites @ Test_obs.suites @ Test_check.suites)
+   @ Test_ordering.suites @ Test_obs.suites @ Test_fastforward.suites
+   @ Test_check.suites)

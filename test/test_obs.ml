@@ -325,6 +325,125 @@ let test_gantt () =
   check_string "disabled render" "(trace disabled: nothing to render)\n"
     (Gantt.render Trace.disabled)
 
+(* ---------------- exporter edge cases -------------------------------- *)
+
+let test_chrome_json_escaping () =
+  (* Hostile strings in track names and task labels — quotes,
+     backslashes, newlines, tabs, raw control bytes — must come out as
+     JSON escapes, never verbatim, or chrome://tracing rejects the
+     file. *)
+  let nasty = "q\"uote\\back\nnl\ttab\x01ctl" in
+  let t = Trace.create ~capacity:64 ~tracks:[ "track \"zero\"\n"; "b" ] () in
+  Trace.record t ~track:0 ~cycle:1
+    (Event.Task_begin { worker = 0; index = 0; label = nasty });
+  Trace.record t ~track:0 ~cycle:4
+    (Event.Task_end { worker = 0; index = 0; label = nasty });
+  let json = Chrome_trace.to_json t in
+  assert_valid_json json;
+  let contains sub =
+    let rec go i =
+      i + String.length sub <= String.length json
+      && (String.sub json i (String.length sub) = sub || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "quote escaped" true (contains "q\\\"uote");
+  check_bool "backslash escaped" true (contains "\\\\back");
+  check_bool "newline escaped" true (contains "\\nnl");
+  check_bool "tab escaped" true (contains "\\ttab");
+  check_bool "control byte as \\u0001" true (contains "\\u0001");
+  (* Only structural newlines may survive raw; any other raw control
+     byte means a string leaked through unescaped. *)
+  String.iter
+    (fun c ->
+      if Char.code c < 0x20 && c <> '\n' then
+        Alcotest.failf "raw control byte %#x in JSON output" (Char.code c))
+    json
+
+(* The painted cells of a named track's Gantt row (between the bars). *)
+let gantt_row g name =
+  let lines = String.split_on_char '\n' g in
+  match
+    List.find_opt
+      (fun l ->
+        String.length l >= String.length name
+        && String.sub l 0 (String.length name) = name)
+      lines
+  with
+  | None -> Alcotest.failf "no Gantt row for track %s in:\n%s" name g
+  | Some l -> (
+    match String.index_opt l '|' with
+    | None -> Alcotest.failf "Gantt row %S has no bars" l
+    | Some i -> String.sub l (i + 1) (String.length l - i - 2))
+
+let test_gantt_zero_length_span () =
+  (* A span that begins and ends on the same cycle still paints exactly
+     one column instead of vanishing (or underflowing the paint loop). *)
+  let t = Trace.create ~capacity:64 ~tracks:[ "t0" ] () in
+  Trace.record t ~track:0 ~cycle:5
+    (Event.Task_begin { worker = 0; index = 0; label = "zero" });
+  Trace.record t ~track:0 ~cycle:5
+    (Event.Task_end { worker = 0; index = 0; label = "zero" });
+  (* A later instant pins the horizon so 1 char = 1 cycle at width 72. *)
+  Trace.record t ~track:0 ~cycle:60
+    (Event.Vl_grant { core = 0; granted = 4; al = 4 });
+  let g = Gantt.render ~width:72 t in
+  let row = gantt_row g "t0" in
+  check_int "row width" 72 (String.length row);
+  check_bool "painted at its cycle" true (row.[5] = 'A');
+  check_int "exactly one painted column" 1
+    (String.fold_left (fun n c -> if c = 'A' then n + 1 else n) 0 row);
+  let contains sub =
+    let rec go i =
+      i + String.length sub <= String.length g
+      && (String.sub g i (String.length sub) = sub || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "legend names the span" true (contains "A=zero")
+
+let test_gantt_overlapping_spans () =
+  (* Two overlapping spans on one track: both must appear in the row and
+     the legend; in the contested region the later-starting span paints
+     over the earlier one (spans are painted in start order). *)
+  let t = Trace.create ~capacity:64 ~tracks:[ "t0" ] () in
+  Trace.record t ~track:0 ~cycle:0
+    (Event.Task_begin { worker = 0; index = 0; label = "x" });
+  Trace.record t ~track:0 ~cycle:20
+    (Event.Task_begin { worker = 0; index = 1; label = "y" });
+  Trace.record t ~track:0 ~cycle:40
+    (Event.Task_end { worker = 0; index = 0; label = "x" });
+  Trace.record t ~track:0 ~cycle:60
+    (Event.Task_end { worker = 0; index = 1; label = "y" });
+  let g = Gantt.render ~width:72 t in
+  let row = gantt_row g "t0" in
+  check_bool "x paints its exclusive region" true (row.[0] = 'A');
+  check_bool "later span wins the overlap" true (row.[30] = 'B');
+  check_bool "y paints past x's end" true (row.[59] = 'B');
+  check_bool "nothing painted past the last span" true (row.[60] = '.');
+  let contains sub =
+    let rec go i =
+      i + String.length sub <= String.length g
+      && (String.sub g i (String.length sub) = sub || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "legend has both spans" true (contains "A=x" && contains "B=y")
+
+let test_gantt_unmatched_begin () =
+  (* A Begin with no matching End is closed at the trace horizon rather
+     than dropped — a crashed phase still shows up in the picture. *)
+  let t = Trace.create ~capacity:64 ~tracks:[ "t0" ] () in
+  Trace.record t ~track:0 ~cycle:10
+    (Event.Task_begin { worker = 0; index = 0; label = "open" });
+  Trace.record t ~track:0 ~cycle:50
+    (Event.Vl_grant { core = 0; granted = 4; al = 4 });
+  let g = Gantt.render ~width:72 t in
+  let row = gantt_row g "t0" in
+  check_bool "runs from its begin" true (row.[10] = 'A');
+  check_bool "closed at the horizon" true (row.[49] = 'A');
+  check_bool "not painted past the horizon" true (row.[50] = '.')
+
 (* ---------------- Metrics counters view ----------------------------- *)
 
 let test_metrics_counters () =
@@ -429,6 +548,14 @@ let suites =
         Alcotest.test_case "chrome json valid" `Quick test_chrome_json_valid;
         Alcotest.test_case "csv shape" `Quick test_csv_shape;
         Alcotest.test_case "gantt" `Quick test_gantt;
+        Alcotest.test_case "chrome json escaping" `Quick
+          test_chrome_json_escaping;
+        Alcotest.test_case "gantt zero-length span" `Quick
+          test_gantt_zero_length_span;
+        Alcotest.test_case "gantt overlapping spans" `Quick
+          test_gantt_overlapping_spans;
+        Alcotest.test_case "gantt unmatched begin" `Quick
+          test_gantt_unmatched_begin;
         Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
         Alcotest.test_case "pool observer sequential" `Quick
           test_pool_observer_sequential;
