@@ -4,7 +4,8 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig10   -- one section (any of: table3
-        table4 table5 fig2 fig10 fig12 fig14 fig16 ablations micro)
+        table4 table5 fig2 fig10 fig12 fig14 fig16 ablations micro perf
+        scaling)
 
    Absolute cycle counts come from our simulator, not the authors' RTL
    calibration, so only the *shape* (orderings, rough factors, crossover
@@ -13,55 +14,67 @@
    paper-vs-measured summary. *)
 
 module Table = Occamy_util.Table
+module Domain_pool = Occamy_util.Domain_pool
+module Work_steal = Occamy_util.Work_steal
 module Arch = Occamy_core.Arch
 module Config = Occamy_core.Config
 module E = Occamy_experiments
 
 let known_sections =
   [ "table4"; "table3"; "fig2"; "table5"; "fig14"; "fig10"; "fig16"; "fig12";
-    "ablations"; "micro"; "perf" ]
+    "ablations"; "micro"; "perf"; "scaling" ]
 
 let usage () =
   Printf.eprintf
-    "usage: bench [-j N] [--trace-dir DIR] [--golden-check|--golden-update] \
-     [%s]...\n\
+    "usage: bench [-j N] [--max-jobs N] [--oversubscribe] [--trace-dir DIR] \
+     [--golden-check|--golden-update] [%s]...\n\
      %!"
     (String.concat "|" known_sections)
 
 (* `-j N` / `-jN` / `--jobs N` selects the worker-domain count; the
    OCCAMY_JOBS environment variable is the fallback, then the machine's
-   recommended domain count. `--trace-dir DIR` (or the OCCAMY_TRACE
-   environment variable) writes Chrome trace JSON for the traced
-   sections into DIR. Remaining arguments are section names. *)
+   recommended domain count capped at `--max-jobs` (default 16; the cap
+   only matters on hosts with more cores than that). The pool further
+   caps the effective workers at [Domain.recommended_domain_count]
+   unless `--oversubscribe` (or OCCAMY_OVERSUBSCRIBE=1) forces the full
+   request. `--trace-dir DIR` (or the OCCAMY_TRACE environment
+   variable) writes Chrome trace JSON for the traced sections into DIR.
+   Remaining arguments are section names. *)
 type golden_mode = No_golden | Golden_check | Golden_update
 
-let jobs, trace_dir, golden_mode, requested =
+let jobs, oversubscribe, trace_dir, golden_mode, requested =
   let bad msg = Printf.eprintf "bench: %s\n%!" msg; usage (); exit 2 in
   let parse_jobs s =
     match int_of_string_opt s with
     | Some j when j >= 1 -> j
     | _ -> bad (Printf.sprintf "invalid job count %S" s)
   in
-  let rec parse jobs tdir golden acc = function
-    | [] -> (jobs, tdir, golden, List.rev acc)
+  let rec parse jobs cap osub tdir golden acc = function
+    | [] -> (jobs, cap, osub, tdir, golden, List.rev acc)
     | ("-j" | "--jobs") :: n :: rest ->
-      parse (Some (parse_jobs n)) tdir golden acc rest
+      parse (Some (parse_jobs n)) cap osub tdir golden acc rest
     | [ ("-j" | "--jobs") ] -> bad "-j expects a count"
-    | "--trace-dir" :: d :: rest -> parse jobs (Some d) golden acc rest
+    | "--max-jobs" :: n :: rest ->
+      parse jobs (Some (parse_jobs n)) osub tdir golden acc rest
+    | [ "--max-jobs" ] -> bad "--max-jobs expects a count"
+    | "--oversubscribe" :: rest -> parse jobs cap true tdir golden acc rest
+    | "--trace-dir" :: d :: rest -> parse jobs cap osub (Some d) golden acc rest
     | [ "--trace-dir" ] -> bad "--trace-dir expects a directory"
-    | "--golden-check" :: rest -> parse jobs tdir Golden_check acc rest
-    | "--golden-update" :: rest -> parse jobs tdir Golden_update acc rest
+    | "--golden-check" :: rest ->
+      parse jobs cap osub tdir Golden_check acc rest
+    | "--golden-update" :: rest ->
+      parse jobs cap osub tdir Golden_update acc rest
     | s :: rest when String.length s > 2 && String.sub s 0 2 = "-j" ->
       parse
         (Some (parse_jobs (String.sub s 2 (String.length s - 2))))
-        tdir golden acc rest
+        cap osub tdir golden acc rest
     | s :: rest when String.length s > 0 && s.[0] = '-' ->
       ignore rest;
       bad (Printf.sprintf "unknown option %S" s)
-    | s :: rest -> parse jobs tdir golden (s :: acc) rest
+    | s :: rest -> parse jobs cap osub tdir golden (s :: acc) rest
   in
-  let jobs, tdir, golden, requested =
-    parse None None No_golden [] (List.tl (Array.to_list Sys.argv))
+  let jobs, cap, osub, tdir, golden, requested =
+    parse None None false None No_golden [] (List.tl (Array.to_list Sys.argv))
   in
   let tdir =
     match tdir with Some _ -> tdir | None -> Sys.getenv_opt "OCCAMY_TRACE"
@@ -79,32 +92,61 @@ let jobs, trace_dir, golden_mode, requested =
   let jobs =
     match jobs with
     | Some j -> j
-    | None -> Occamy_util.Domain_pool.jobs_from_env ()
+    | None -> Occamy_util.Domain_pool.jobs_from_env ?cap ()
   in
-  (jobs, tdir, golden, requested)
+  (jobs, osub, tdir, golden, requested)
 
 let section_enabled name = requested = [] || List.mem name requested
 
 (* Machine-readable per-section timings, one JSON object per line,
-   appended so successive runs accumulate a history. *)
+   appended so successive runs accumulate a history. Each line also
+   carries the scheduler diagnostics accumulated by Domain_pool since
+   the last [reset_totals] — effective workers, steal counts and
+   per-worker GC deltas — so a scaling regression in the history is
+   attributable (oversubscribed? steal-starved? minor-GC-bound?)
+   without re-running under a profiler. *)
 let sections_json = "BENCH_sections.json"
 
-let record_section name seconds =
+let record_section ?(jobs_used = jobs) name seconds =
+  let t = Domain_pool.totals () in
+  let per f =
+    String.concat ","
+      (Array.to_list (Array.map f t.Domain_pool.t_per_worker))
+  in
   let oc =
     open_out_gen [ Open_append; Open_creat ] 0o644 sections_json
   in
   Printf.fprintf oc
-    "{\"section\":\"%s\",\"seconds\":%.3f,\"jobs\":%d,\"unix_time\":%.0f}\n"
-    name seconds jobs (Unix.time ());
+    "{\"section\":\"%s\",\"seconds\":%.3f,\"jobs\":%d,\"workers\":%d,\
+     \"maps\":%d,\"tasks\":%d,\"steals\":%d,\"steal_attempts\":%d,\
+     \"minor_collections\":%d,\"major_collections\":%d,\
+     \"promoted_words\":%.0f,\"worker_tasks\":[%s],\"worker_steals\":[%s],\
+     \"worker_minor_collections\":[%s],\"unix_time\":%.0f}\n"
+    name seconds jobs_used t.Domain_pool.t_max_workers
+    t.Domain_pool.t_maps t.Domain_pool.t_tasks t.Domain_pool.t_steals
+    t.Domain_pool.t_steal_attempts t.Domain_pool.t_minor_collections
+    t.Domain_pool.t_major_collections t.Domain_pool.t_promoted_words
+    (per (fun w -> string_of_int w.Work_steal.ws_tasks))
+    (per (fun w -> string_of_int w.Work_steal.ws_steals))
+    (per (fun w -> string_of_int w.Work_steal.ws_minor_collections))
+    (Unix.time ());
   close_out oc
 
 let timed name f =
   if section_enabled name then begin
     Printf.printf "\n##### %s #####\n%!" name;
+    Domain_pool.reset_totals ();
     let t0 = Unix.gettimeofday () in
     f ();
     let dt = Unix.gettimeofday () -. t0 in
-    Printf.printf "[%s: %.1fs]\n%!" name dt;
+    let t = Domain_pool.totals () in
+    if t.Domain_pool.t_max_workers > 1 then
+      Printf.printf
+        "[%s: %.1fs; pool: %d workers, %d tasks, %d steals, %d minor \
+         collections]\n%!"
+        name dt t.Domain_pool.t_max_workers t.Domain_pool.t_tasks
+        t.Domain_pool.t_steals t.Domain_pool.t_minor_collections
+    else Printf.printf "[%s: %.1fs]\n%!" name dt;
     record_section name dt
   end
 
@@ -154,8 +196,8 @@ let run_fig2 () =
 let run_table5 () = Table.print (E.Fig14.table5 ())
 
 let run_fig14 () =
-  Table.print (E.Fig14.lane_sweep_table ~jobs ());
-  let corun = E.Fig14.run_corun ~jobs () in
+  Table.print (E.Fig14.lane_sweep_table ~jobs ~oversubscribe ());
+  let corun = E.Fig14.run_corun ~jobs ~oversubscribe () in
   Table.print (E.Fig14.partition_timeline_table corun);
   Table.print (E.Fig14.issue_rate_table corun)
 
@@ -178,7 +220,7 @@ let run_fig10 () =
       sweep_trace
   in
   let t =
-    E.Fig10.run ~jobs ?observer
+    E.Fig10.run ~jobs ~oversubscribe ?observer
       ~progress:(fun l -> Printf.printf "  running %s...\n%!" l)
       ()
   in
@@ -199,7 +241,7 @@ let run_fig10 () =
     trace_dir
 
 let run_ablations () =
-  List.iter Table.print (E.Ablations.all ~jobs ())
+  List.iter Table.print (E.Ablations.all ~jobs ~oversubscribe ())
 
 let run_fig12 () =
   Table.print (E.Fig12.area_table ~cores:2 ());
@@ -207,7 +249,7 @@ let run_fig12 () =
   print_endline (E.Fig12.fts_overhead_note ())
 
 let run_fig16 () =
-  let runs = E.Fig16.run ~jobs () in
+  let runs = E.Fig16.run ~jobs ~oversubscribe () in
   Table.print (E.Fig16.speedup_table runs)
 
 (* ------------------------------------------------------------------ *)
@@ -365,6 +407,55 @@ let run_perf () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-scaling smoke gate (CI: `bench scaling`)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole point of the elastic pool is that `-j N` must never be
+   slower than `-j 1`; this section proves it on whatever host runs it.
+   A reduced fig10 sweep (tc_scale 0.3, ~25 pairs x 4 architectures) is
+   timed sequentially and then in parallel, both recorded as their own
+   JSONL lines. The tolerance is generous (25%) so a noisy 2-core CI
+   runner does not flake, but a return of the old oversubscription
+   meltdown (4-13x slower) fails loudly. *)
+let scaling_gate = 1.25
+
+let run_scaling () =
+  let tc_scale = 0.3 in
+  let par_jobs = max 2 (min jobs 4) in
+  let eff =
+    Domain_pool.effective_workers ~oversubscribe
+      ~cores:(Domain.recommended_domain_count ())
+      ~jobs:par_jobs ~tasks:par_jobs
+  in
+  let time ~jobs:j =
+    Domain_pool.reset_totals ();
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (E.Fig10.run ~tc_scale ~jobs:j ~oversubscribe
+         ~progress:(fun _ -> ())
+         ());
+    let dt = Unix.gettimeofday () -. t0 in
+    record_section ~jobs_used:j (Printf.sprintf "scaling-j%d" j) dt;
+    dt
+  in
+  let t_seq = time ~jobs:1 in
+  Printf.printf "  -j 1: %.2fs\n%!" t_seq;
+  let t_par = time ~jobs:par_jobs in
+  Printf.printf "  -j %d: %.2fs (%d effective worker%s, speedup %.2fx)\n%!"
+    par_jobs t_par eff
+    (if eff = 1 then "" else "s")
+    (t_seq /. Float.max t_par 1e-9);
+  if t_par > scaling_gate *. t_seq then begin
+    Printf.eprintf
+      "bench: -j %d is >%.0f%% slower than -j 1 (%.2fs vs %.2fs) — \
+       parallel runs must never lose to sequential\n%!"
+      par_jobs
+      ((scaling_gate -. 1.0) *. 100.0)
+      t_par t_seq;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Golden-metrics drift gate (--golden-check / --golden-update)        *)
 (* ------------------------------------------------------------------ *)
 
@@ -407,7 +498,7 @@ let golden_metrics () =
   List.concat_map
     (fun (prefix, cfg, wls) ->
       let per_arch =
-        Occamy_util.Domain_pool.map ~jobs
+        Domain_pool.map ~jobs ~oversubscribe
           (fun arch -> (arch, Occamy_core.Sim.simulate ~cfg ~arch wls))
           Arch.all
       in
@@ -510,4 +601,5 @@ let () =
   timed "ablations" run_ablations;
   timed "micro" run_micro;
   timed "perf" run_perf;
+  timed "scaling" run_scaling;
   print_endline "\nAll requested sections completed."

@@ -56,13 +56,42 @@ let jobs_arg =
         ~env:(Cmd.Env.info "OCCAMY_JOBS")
         ~doc:
           "Worker domains for independent simulations (default: the \
-           machine's recommended domain count). 1 disables parallelism. \
-           Must be >= 1.")
+           machine's recommended domain count, capped at --max-jobs). \
+           1 disables parallelism. Must be >= 1. The pool further caps \
+           the effective count at the machine's recommended domain \
+           count unless --oversubscribe.")
 
-(* Resolve the -j/--jobs/OCCAMY_JOBS choice to a usable worker count. *)
-let resolve_jobs = function
+let max_jobs_arg =
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "max-jobs" ] ~docv:"N"
+        ~doc:
+          "Cap on the default worker count when -j/--jobs is not given \
+           (default 16). Domain.recommended_domain_count already limits \
+           the default to the host's usable cores, so this only matters \
+           on machines with more cores than the cap — raise it there, \
+           or lower it to leave cores free.")
+
+let oversubscribe_arg =
+  Arg.(
+    value & flag
+    & info [ "oversubscribe" ]
+        ~doc:
+          "Run the full -j request even when it exceeds the machine's \
+           recommended domain count (normally capped there: OCaml's \
+           stop-the-world minor collections make oversubscribed domains \
+           pathologically slow). OCCAMY_OVERSUBSCRIBE=1 does the same.")
+
+(* Resolve the -j/--jobs/OCCAMY_JOBS choice to a usable worker count;
+   --max-jobs caps only the default (an explicit -j is the user's call).
+   The flag maps to [None] when absent so Domain_pool still honours
+   OCCAMY_OVERSUBSCRIBE. *)
+let resolve_jobs ?cap = function
   | Some j -> j
-  | None -> Occamy_util.Domain_pool.jobs_from_env ()
+  | None -> Occamy_util.Domain_pool.jobs_from_env ?cap ()
+
+let resolve_oversubscribe flag = if flag then Some true else None
 
 let level_conv =
   let parse = function
@@ -159,8 +188,8 @@ let arch_path path ~multi a =
     | "" -> path ^ "." ^ name
     | ext -> Filename.remove_extension path ^ "." ^ name ^ ext
 
-let run_archs ?cfg ?jobs ?(trace_json = None) ?(trace_csv = None)
-    ?(gantt = false) arch wls_of =
+let run_archs ?cfg ?jobs ?oversubscribe ?(trace_json = None)
+    ?(trace_csv = None) ?(gantt = false) arch wls_of =
   let archs = match arch with Some a -> [ a ] | None -> Arch.all in
   let multi = List.length archs > 1 in
   let want_trace = trace_json <> None || trace_csv <> None || gantt in
@@ -173,7 +202,7 @@ let run_archs ?cfg ?jobs ?(trace_json = None) ?(trace_csv = None)
      recording stays single-writer even under -j N. *)
   let wls = wls_of () in
   let results =
-    Occamy_util.Domain_pool.map ?jobs
+    Occamy_util.Domain_pool.map ?jobs ?oversubscribe
       (fun a ->
         let trace =
           if want_trace then Occamy_obs.Trace.for_sim ~cores ()
@@ -220,7 +249,7 @@ let run_cmd =
              $(b,occamy-sim list). Prefix with ocv: for the OpenCV pairs, \
              e.g. ocv:6+1.")
   in
-  let run pair arch jobs trace_json trace_csv gantt perf =
+  let run pair arch jobs max_jobs osub trace_json trace_csv gantt perf =
     let lookup label =
       if String.length label > 4 && String.sub label 0 4 = "ocv:" then
         let l = String.sub label 4 (String.length label - 4) in
@@ -239,30 +268,35 @@ let run_cmd =
       let wls_of () = Suite.compile_pair p in
       if perf then run_perf ~name:pair arch wls_of
       else
-        run_archs ~jobs:(resolve_jobs jobs) ~trace_json ~trace_csv ~gantt
-          arch wls_of;
+        run_archs
+          ~jobs:(resolve_jobs ?cap:max_jobs jobs)
+          ?oversubscribe:(resolve_oversubscribe osub) ~trace_json ~trace_csv
+          ~gantt arch wls_of;
       `Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a co-running workload pair")
     Term.(
       ret
-        (const run $ pair_arg $ arch_arg $ jobs_arg $ trace_arg
-       $ trace_csv_arg $ gantt_arg $ perf_arg))
+        (const run $ pair_arg $ arch_arg $ jobs_arg $ max_jobs_arg
+       $ oversubscribe_arg $ trace_arg $ trace_csv_arg $ gantt_arg
+       $ perf_arg))
 
 let motivating_cmd =
-  let run arch jobs trace_json trace_csv gantt perf =
+  let run arch jobs max_jobs osub trace_json trace_csv gantt perf =
     let wls_of () = Occamy_workloads.Motivating.pair () in
     if perf then run_perf ~name:"motivating" arch wls_of
     else
-      run_archs ~jobs:(resolve_jobs jobs) ~trace_json ~trace_csv ~gantt arch
-        wls_of
+      run_archs
+        ~jobs:(resolve_jobs ?cap:max_jobs jobs)
+        ?oversubscribe:(resolve_oversubscribe osub) ~trace_json ~trace_csv
+        ~gantt arch wls_of
   in
   Cmd.v
     (Cmd.info "motivating" ~doc:"Run the Figure 2 motivating example")
     Term.(
-      const run $ arch_arg $ jobs_arg $ trace_arg $ trace_csv_arg $ gantt_arg
-      $ perf_arg)
+      const run $ arch_arg $ jobs_arg $ max_jobs_arg $ oversubscribe_arg
+      $ trace_arg $ trace_csv_arg $ gantt_arg $ perf_arg)
 
 (* ---------------- list --------------------------------------------- *)
 
@@ -394,17 +428,20 @@ let export_cmd =
       & info [ "tc-scale" ] ~docv:"F"
           ~doc:"Trip-count scale for the 25-pair sweep (smaller = faster).")
   in
-  let run dir scale jobs =
+  let run dir scale jobs max_jobs osub =
     let files =
       Occamy_experiments.Export.write_all ~dir ~tc_scale:scale
-        ~jobs:(resolve_jobs jobs) ()
+        ~jobs:(resolve_jobs ?cap:max_jobs jobs)
+        ?oversubscribe:(resolve_oversubscribe osub) ()
     in
     List.iter (Fmt.pr "wrote %s@.") files
   in
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export figure data (timelines, pair series, Table 3) as CSV")
-    Term.(const run $ dir_arg $ scale_arg $ jobs_arg)
+    Term.(
+      const run $ dir_arg $ scale_arg $ jobs_arg $ max_jobs_arg
+      $ oversubscribe_arg)
 
 (* ---------------- fuzz --------------------------------------------- *)
 
@@ -520,7 +557,7 @@ let fuzz_cmd =
     close_out oc;
     Fmt.pr "wrote %s and %s@." json_path txt_path
   in
-  let run seed count minutes case inject jobs out =
+  let run seed count minutes case inject jobs max_jobs osub out =
     match case with
     | Some cs -> (
       (* Single-case replay: the repro path a counterexample prints. *)
@@ -539,7 +576,9 @@ let fuzz_cmd =
           ~on_batch:(fun ~done_ ->
             Fmt.pr "  ... %d cases@." done_;
             Format.pp_print_flush Fmt.stdout ())
-          ~seed ~count ~jobs:(resolve_jobs jobs) ()
+          ?oversubscribe:(resolve_oversubscribe osub) ~seed ~count
+          ~jobs:(resolve_jobs ?cap:max_jobs jobs)
+          ()
       in
       Fmt.pr "%a@." Occamy_check.Fuzz.pp_report report;
       (match report.Occamy_check.Fuzz.counterexample with
@@ -562,7 +601,8 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ seed_arg $ count_arg $ minutes_arg $ case_arg
-       $ inject_arg $ jobs_arg $ out_arg))
+       $ inject_arg $ jobs_arg $ max_jobs_arg $ oversubscribe_arg
+       $ out_arg))
 
 (* ---------------- main --------------------------------------------- *)
 

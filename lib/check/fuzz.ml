@@ -98,10 +98,26 @@ let repro_command ?inject_name case_seed =
   | None -> base
   | Some n -> Printf.sprintf "%s --inject %s" base n
 
-let batch_size jobs = max 16 (jobs * 8)
+(* Batch granularity tracks the workers the pool will actually use (the
+   elastic cap in Domain_pool), not the raw request: a capped [-j 64]
+   run on a 2-core host should not pay 512-case batches' worth of
+   deadline overshoot per loop. Each batch reuses the persistent pool,
+   so small batches no longer cost a spawn/join each. *)
+let batch_size ~oversubscribe jobs =
+  let eff =
+    Domain_pool.effective_workers ~oversubscribe
+      ~cores:(Domain.recommended_domain_count ())
+      ~jobs ~tasks:jobs
+  in
+  max 16 (eff * 8)
 
-let run ?gen_cfg ?inject_name ?minutes ?(on_batch = fun ~done_:_ -> ()) ~seed
-    ~count ~jobs () =
+let run ?gen_cfg ?inject_name ?minutes ?(on_batch = fun ~done_:_ -> ())
+    ?oversubscribe ~seed ~count ~jobs () =
+  let oversubscribe =
+    match oversubscribe with
+    | Some b -> b
+    | None -> Domain_pool.oversubscribe_from_env ()
+  in
   (* A negative count or a non-positive deadline would silently run zero
      cases and report success; reject both loudly, like Domain_pool does
      for its job count. *)
@@ -126,12 +142,12 @@ let run ?gen_cfg ?inject_name ?minutes ?(on_batch = fun ~done_:_ -> ()) ~seed
   while continue () do
     let n =
       match deadline with
-      | Some _ -> batch_size jobs
-      | None -> min (batch_size jobs) (count - !done_)
+      | Some _ -> batch_size ~oversubscribe jobs
+      | None -> min (batch_size ~oversubscribe jobs) (count - !done_)
     in
     let indices = List.init n (fun k -> !done_ + k) in
     let results =
-      Domain_pool.map ~jobs
+      Domain_pool.map ~jobs ~oversubscribe
         (fun i ->
           let cs = Rng.case_seed ~seed i in
           (i, cs, Diff.run ?inject (Diff.case_of_seed ?cfg:gen_cfg cs)))

@@ -47,6 +47,7 @@ val run :
   ?inject_name:string ->
   ?minutes:float ->
   ?on_batch:(done_:int -> unit) ->
+  ?oversubscribe:bool ->
   seed:int ->
   count:int ->
   jobs:int ->
@@ -54,8 +55,10 @@ val run :
   report
 (** A fuzzing campaign: [count] cases (when [minutes] is given, repeated
     batches of fresh cases until the deadline instead), [jobs]-way
-    parallel. Stops at the first failing batch; within it the
-    lowest-index failure is shrunk. [on_batch] reports progress.
+    parallel ([jobs] is elastically capped like any
+    {!Occamy_util.Domain_pool.map} unless [oversubscribe]). Stops at the
+    first failing batch; within it the lowest-index failure is shrunk.
+    [on_batch] reports progress.
 
     @raise Invalid_argument if [count] is negative or [minutes] is not
     strictly positive — either would silently run zero cases. *)

@@ -110,6 +110,10 @@ type core_state = {
   mutable cur_level : Occamy_mem.Level.t;  (* current phase's footprint *)
   (* co-processor side *)
   pool : pentry Occamy_util.Bounded_queue.t;
+  vop_srcs : int list array;
+      (* per static instruction, the source vreg indices of a [Vop]
+         (empty otherwise), decoded once at construction so [transmit]
+         does not allocate a fresh list per transmitted instruction *)
   rob : wentry Queue.t;
   vmap : wentry option array;  (* arch vreg -> last producer *)
   freelist : Freelist.t;       (* per-core or shared, per architecture *)
@@ -215,6 +219,12 @@ let make_core cfg arch ~shared_freelist id wl =
     cs_schedule = [];
     cur_level = Occamy_mem.Level.Vec_cache;
     pool = Occamy_util.Bounded_queue.create ~capacity:cfg.Config.pool_capacity;
+    vop_srcs =
+      Array.map
+        (function
+          | Instr.Vop { srcs; _ } -> List.map Reg.v_index srcs
+          | _ -> [])
+        wl.Workload.program.Program.code;
     rob = Queue.create ();
     vmap = Array.make Reg.num_v None;
     freelist;
@@ -611,9 +621,10 @@ let transmit c instr =
       Pload { dst = Reg.v_index dst; arr; base = c.xregs.(xi); elems = elems_of cnt }
     | Instr.Vstore { src; arr; idx = Reg.X xi; cnt } ->
       Pstore { src = Reg.v_index src; arr; base = c.xregs.(xi); elems = elems_of cnt }
-    | Instr.Vop { op; dst; srcs; cnt = _ } ->
-      Pcompute
-        { op; dst = Reg.v_index dst; srcs = List.map Reg.v_index srcs }
+    | Instr.Vop { op; dst; srcs = _; cnt = _ } ->
+      (* [c.pc] still points at this instruction; reuse its decoded
+         source list instead of allocating one per transmit. *)
+      Pcompute { op; dst = Reg.v_index dst; srcs = c.vop_srcs.(c.pc) }
     | Instr.Vdup (dst, _) -> Pdup { dst = Reg.v_index dst }
     | _ -> error "transmit: not an SVE instruction"
   in
@@ -677,11 +688,16 @@ let step_frontend t c =
           decr budget
         | Instr.Fvop (op, Reg.F d, srcs) ->
           (* Scalar FP executes in the scalar core's own FP unit; the data
-             values do not affect timing-relevant control flow. *)
-          let args =
-            Array.of_list (List.map (fun (Reg.F i) -> c.fregs.(i)) srcs)
-          in
-          c.fregs.(d) <- Vop.apply op args;
+             values do not affect timing-relevant control flow.
+             Arity-specialised to avoid boxing the operands per
+             executed instruction. *)
+          c.fregs.(d) <-
+            (match srcs with
+            | [ Reg.F a ] -> Vop.apply1 op c.fregs.(a)
+            | [ Reg.F a; Reg.F b ] -> Vop.apply2 op c.fregs.(a) c.fregs.(b)
+            | [ Reg.F a; Reg.F b; Reg.F cc ] ->
+              Vop.apply3 op c.fregs.(a) c.fregs.(b) c.fregs.(cc)
+            | _ -> error "core%d: %s.s arity mismatch" c.id (Vop.name op));
           decr budget
         | Instr.Flw { fdst = Reg.F d; _ } ->
           (* Scalar loads go through the core's private L1 (Table 4); a

@@ -213,8 +213,8 @@ let context_switch () =
 
 (* Each ablation is an independent batch of simulations building its own
    table; they parallelize as six coarse tasks, printed in fixed order. *)
-let all ?jobs () =
-  Occamy_util.Domain_pool.map ?jobs
+let all ?jobs ?oversubscribe () =
+  Occamy_util.Domain_pool.map ?jobs ?oversubscribe
     (fun f -> f ())
     [ prefetcher; monitor; hoisting; window_depth; fts_vrf_depth;
       context_switch ]

@@ -90,7 +90,7 @@ let write_file path contents =
 (** Write the full figure-data set into [dir] (created if missing):
     `fig2_<arch>.csv`, `pairs.csv`, `table3.csv`. Returns the file
     names. *)
-let write_all ~dir ?tc_scale ?jobs () =
+let write_all ~dir ?tc_scale ?jobs ?oversubscribe () =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let files = ref [] in
   let emit name contents =
@@ -106,6 +106,6 @@ let write_all ~dir ?tc_scale ?jobs () =
            (String.lowercase_ascii (Arch.name arch)))
         (timeline_csv (Fig2.result f2 arch)))
     Arch.all;
-  emit "pairs.csv" (pairs_csv (Fig10.run ?tc_scale ?jobs ()));
+  emit "pairs.csv" (pairs_csv (Fig10.run ?tc_scale ?jobs ?oversubscribe ()));
   emit "table3.csv" (table3_csv ());
   List.rev !files

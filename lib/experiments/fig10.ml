@@ -10,8 +10,12 @@ module Table = Occamy_util.Table
 
 type t = { runs : Pair_run.t list }
 
-let run ?cfg ?tc_scale ?jobs ?observer ?progress () =
-  { runs = Pair_run.run_all ?cfg ?tc_scale ?jobs ?observer ?progress () }
+let run ?cfg ?tc_scale ?jobs ?oversubscribe ?observer ?progress () =
+  {
+    runs =
+      Pair_run.run_all ?cfg ?tc_scale ?jobs ?oversubscribe ?observer ?progress
+        ();
+  }
 
 let label r = r.Pair_run.pair.Occamy_workloads.Suite.label
 

@@ -19,15 +19,19 @@ module Synth = Occamy_workloads.Synth
 module Suite = Occamy_workloads.Suite
 module Table = Occamy_util.Table
 
-(* Run one phase alone on a single-core machine with a fixed lane count. *)
-let solo_time ?(cfg = Config.default) spec ~granules =
+(* Compile one phase's solo workload; shared across the lane sweep. *)
+let compile_solo spec =
+  Codegen.compile_workload
+    ~name:(spec.Synth.k_name ^ "_solo")
+    ~kind:Workload.Mixed
+    [ Synth.loop_of_spec spec ]
+
+(* Run one compiled phase alone on a single-core machine with a fixed
+   lane count. The workload is read-only to the simulator (see the
+   "workload reuse" test), so the same compiled value can be timed at
+   every lane count, on any worker domain. *)
+let solo_time ?(cfg = Config.default) wl ~granules =
   let cfg = { cfg with Config.cores = 1 } in
-  let wl =
-    Codegen.compile_workload
-      ~name:(spec.Synth.k_name ^ "_solo")
-      ~kind:Workload.Mixed
-      [ Synth.loop_of_spec spec ]
-  in
   let r = Sim.simulate ~cfg ~decisions:[| granules |] ~arch:Arch.Vls [ wl ] in
   r.Metrics.total_cycles
 
@@ -40,18 +44,23 @@ let sweep_phases () =
    The 3 phases x 7 lane counts are 21 independent solo simulations; they
    run as one flat task list on the domain pool and are regrouped into
    rows afterwards. *)
-let lane_sweep_table ?cfg ?jobs () =
+let lane_sweep_table ?cfg ?jobs ?oversubscribe () =
   let phases = sweep_phases () in
   let granules = [ 1; 2; 3; 4; 5; 6; 7 ] in
   let times_by_phase =
+    (* Compile each phase once on the calling domain (3 compiles, not
+       21): the workers then only simulate, keeping compiler allocation
+       off the parallel hot path. *)
     let tasks =
       List.concat_map
-        (fun (_, spec) -> List.map (fun g -> (spec, g)) granules)
+        (fun (_, spec) ->
+          let wl = compile_solo spec in
+          List.map (fun g -> (wl, g)) granules)
         phases
     in
     let times =
-      Occamy_util.Domain_pool.map ?jobs
-        (fun (spec, g) -> solo_time ?cfg spec ~granules:g)
+      Occamy_util.Domain_pool.map ?jobs ?oversubscribe
+        (fun (wl, g) -> solo_time ?cfg wl ~granules:g)
         tasks
     in
     (* Regroup the flat results into one row of |granules| per phase. *)
@@ -87,7 +96,7 @@ let lane_sweep_table ?cfg ?jobs () =
 (* The co-run itself. *)
 type corun = { results : (Arch.t * Metrics.t) list }
 
-let run_corun ?cfg ?jobs () =
+let run_corun ?cfg ?jobs ?oversubscribe () =
   let pair =
     match Suite.find_pair "20+17" with
     | Some p -> p
@@ -97,7 +106,7 @@ let run_corun ?cfg ?jobs () =
   let wls = Suite.compile_pair pair in
   {
     results =
-      Occamy_util.Domain_pool.map ?jobs
+      Occamy_util.Domain_pool.map ?jobs ?oversubscribe
         (fun a -> (a, Sim.simulate ?cfg ~arch:a wls))
         Arch.all;
   }

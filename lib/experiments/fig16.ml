@@ -16,18 +16,18 @@ type group_run = {
 
 (* As in Pair_run: compile the group once, share the read-only workloads
    across the four architecture simulations. *)
-let run_group ?(cfg = Config.four_core) ?tc_scale ?jobs g =
+let run_group ?(cfg = Config.four_core) ?tc_scale ?jobs ?oversubscribe g =
   let wls = Suite.compile_group ?tc_scale g in
   {
     group = g;
     results =
-      Occamy_util.Domain_pool.map ?jobs
+      Occamy_util.Domain_pool.map ?jobs ?oversubscribe
         (fun arch -> (arch, Sim.simulate ~cfg ~arch wls))
         Arch.all;
   }
 
-let run ?cfg ?tc_scale ?jobs () =
-  Occamy_util.Domain_pool.map ?jobs
+let run ?cfg ?tc_scale ?jobs ?oversubscribe () =
+  Occamy_util.Domain_pool.map ?jobs ?oversubscribe
     (run_group ?cfg ?tc_scale ~jobs:1)
     Suite.four_core_groups
 

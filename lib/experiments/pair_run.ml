@@ -17,10 +17,10 @@ type t = {
    Sim.simulate treats workloads as read-only, copying everything it
    mutates into per-core state at creation — see the note on
    [Sim.simulate] and the "workload reuse" test. *)
-let run_pair ?(cfg = Config.default) ?tc_scale ?jobs pair =
+let run_pair ?(cfg = Config.default) ?tc_scale ?jobs ?oversubscribe pair =
   let wls = Suite.compile_pair ?tc_scale pair in
   let results =
-    Occamy_util.Domain_pool.map ?jobs
+    Occamy_util.Domain_pool.map ?jobs ?oversubscribe
       (fun arch -> (arch, Sim.simulate ~cfg ~arch wls))
       Arch.all
   in
@@ -69,8 +69,9 @@ let occamy_overhead ?(cfg = Config.default) t =
     unchanged — pair tasks show up as sweep spans in a
     {!Occamy_obs.Trace.for_sweep} trace via
     {!Occamy_obs.Trace.sweep_observer}. *)
-let run_all ?cfg ?tc_scale ?jobs ?observer ?(progress = fun _ -> ()) () =
-  Occamy_util.Domain_pool.map ?jobs ?observer
+let run_all ?cfg ?tc_scale ?jobs ?oversubscribe ?observer
+    ?(progress = fun _ -> ()) () =
+  Occamy_util.Domain_pool.map ?jobs ?oversubscribe ?observer
     (fun pair ->
       progress pair.Suite.label;
       (* Parallelism lives at the pair level; each task simulates its

@@ -195,10 +195,13 @@ let step t =
     | Instr.Fvop (op, Reg.F d, srcs) ->
       if List.length srcs <> Vop.arity op then
         fault "%s.s: arity mismatch" (Vop.name op);
-      let args =
-        Array.of_list (List.map (fun (Reg.F i) -> t.fregs.(i)) srcs)
-      in
-      t.fregs.(d) <- Vop.apply op args
+      t.fregs.(d) <-
+        (match srcs with
+        | [ Reg.F a ] -> Vop.apply1 op t.fregs.(a)
+        | [ Reg.F a; Reg.F b ] -> Vop.apply2 op t.fregs.(a) t.fregs.(b)
+        | [ Reg.F a; Reg.F b; Reg.F c ] ->
+          Vop.apply3 op t.fregs.(a) t.fregs.(b) t.fregs.(c)
+        | _ -> fault "%s.s: arity mismatch" (Vop.name op))
     | Instr.Flw { fdst = Reg.F d; arr; idx = Reg.X xi } ->
       let mem = memory t arr in
       let i = t.xregs.(xi) in
@@ -263,16 +266,29 @@ let step t =
       check_vec_active t (Vop.name op);
       if List.length srcs <> Vop.arity op then
         fault "%s: arity mismatch" (Vop.name op);
-      let srcs = Array.of_list (List.map (fun (Reg.V i) -> t.vregs.(i)) srcs) in
       let dstv = t.vregs.(d) in
       let n = elems_for_access t cnt in
-      let args = Array.make (Array.length srcs) 0.0 in
-      for e = 0 to n - 1 do
-        for s = 0 to Array.length srcs - 1 do
-          args.(s) <- srcs.(s).(e)
-        done;
-        dstv.(e) <- Vop.apply op args
-      done;
+      (* Arity-specialised loops: no per-instruction operand boxing
+         (this runs once per vector instruction on the fuzz hot path). *)
+      (match srcs with
+      | [ Reg.V s1 ] ->
+        let v1 = t.vregs.(s1) in
+        for e = 0 to n - 1 do
+          dstv.(e) <- Vop.apply1 op v1.(e)
+        done
+      | [ Reg.V s1; Reg.V s2 ] ->
+        let v1 = t.vregs.(s1) and v2 = t.vregs.(s2) in
+        for e = 0 to n - 1 do
+          dstv.(e) <- Vop.apply2 op v1.(e) v2.(e)
+        done
+      | [ Reg.V s1; Reg.V s2; Reg.V s3 ] ->
+        let v1 = t.vregs.(s1)
+        and v2 = t.vregs.(s2)
+        and v3 = t.vregs.(s3) in
+        for e = 0 to n - 1 do
+          dstv.(e) <- Vop.apply3 op v1.(e) v2.(e) v3.(e)
+        done
+      | _ -> fault "%s: arity mismatch" (Vop.name op));
       t.stats.flops <- t.stats.flops + (n * Vop.flops_per_elem op)
     | Instr.Vdup (Reg.V d, Reg.F s) ->
       check_vec_active t "dup";

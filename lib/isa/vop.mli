@@ -20,6 +20,17 @@ val pp : Format.formatter -> t -> unit
 val apply : t -> float array -> float
 (** Element-wise semantics; raises on arity mismatch. *)
 
+val apply1 : t -> float -> float
+val apply2 : t -> float -> float -> float
+
+val apply3 : t -> float -> float -> float -> float
+(** Arity-specialised {!apply}: the interpreter and simulator hot loops
+    execute one of these per element with the operands in registers,
+    instead of boxing every operand set into a fresh [float array]
+    (which was a dominant minor-heap allocation site under [-j N],
+    where each minor collection stops every domain). Raise on an op of
+    a different arity. *)
+
 (** Reduction operators (the [Vred] instructions). *)
 module Red : sig
   type t = Sum | Maxr | Minr

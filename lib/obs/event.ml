@@ -54,6 +54,9 @@ type t =
   | Task_begin of { worker : int; index : int; label : string }
       (** a sweep task started on a {!Occamy_util.Domain_pool} worker *)
   | Task_end of { worker : int; index : int; label : string }
+  | Task_steal of { worker : int; victim : int; index : int; label : string }
+      (** worker [worker] stole task [index] from [victim]'s deque; an
+          instant event preceding the task's {!Task_begin} *)
 
 let kind = function
   | Phase_begin _ -> "phase_begin"
@@ -68,6 +71,7 @@ let kind = function
   | Mem_transition _ -> "mem_transition"
   | Task_begin _ -> "task_begin"
   | Task_end _ -> "task_end"
+  | Task_steal _ -> "task_steal"
 
 let core = function
   | Phase_begin { core; _ }
@@ -80,7 +84,7 @@ let core = function
   | Reconfig_blocked { core; _ }
   | Mem_transition { core; _ } -> Some core
   | Replan { trigger; _ } -> Some trigger
-  | Task_begin _ | Task_end _ -> None
+  | Task_begin _ | Task_end _ | Task_steal _ -> None
 
 (** Human/CSV-facing key-value rendering of an event's payload. Values
     never contain commas, so they embed directly in CSV cells. *)
@@ -140,6 +144,13 @@ let args t =
   | Task_begin { worker; index; label } | Task_end { worker; index; label } ->
     [
       ("worker", string_of_int worker);
+      ("index", string_of_int index);
+      ("label", label);
+    ]
+  | Task_steal { worker; victim; index; label } ->
+    [
+      ("worker", string_of_int worker);
+      ("victim", string_of_int victim);
       ("index", string_of_int index);
       ("label", label);
     ]

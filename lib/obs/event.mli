@@ -34,6 +34,7 @@ type t =
     }
   | Task_begin of { worker : int; index : int; label : string }
   | Task_end of { worker : int; index : int; label : string }
+  | Task_steal of { worker : int; victim : int; index : int; label : string }
 
 val kind : t -> string
 (** Stable snake_case tag, the CSV [event] column. *)

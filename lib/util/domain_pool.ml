@@ -1,77 +1,240 @@
-(** Parallel map over OCaml 5 domains — see the interface for the
-    contract. The implementation is a flat work-stealing-free design:
-    one shared atomic cursor over the task array, grabbed in chunks so
-    that 25-element sweeps do not contend on every task, with results
-    and errors written into per-index slots (each slot has exactly one
-    writer, so no synchronisation beyond the cursor is needed). *)
-
-type error = { index : int; exn : exn; bt : Printexc.raw_backtrace }
-
-type observer = worker:int -> index:int -> phase:[ `Start | `Stop ] -> unit
+(* Facade over the {!Work_steal} pool — see the interface for the
+   contract. Policy lives here (elastic worker cap, env knobs, the
+   shared pool singleton, cumulative totals); mechanism lives in
+   Work_steal. *)
 
 let recommended_jobs ?(cap = 16) () =
   max 1 (min cap (Domain.recommended_domain_count ()))
 
-let jobs_from_env ?(var = "OCCAMY_JOBS") () =
+let default_warning msg = Printf.eprintf "occamy: %s\n%!" msg
+
+let jobs_from_env ?(var = "OCCAMY_JOBS") ?cap
+    ?(on_warning = default_warning) () =
   match Sys.getenv_opt var with
-  | None | Some "" -> recommended_jobs ()
+  | None | Some "" -> recommended_jobs ?cap ()
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some j when j >= 1 -> j
-    | Some _ | None -> recommended_jobs ())
+    | Some _ | None ->
+      let fallback = recommended_jobs ?cap () in
+      on_warning
+        (Printf.sprintf
+           "ignoring %s=%S (expected a positive integer); using %d" var s
+           fallback);
+      fallback)
 
-(* Chunk size: enough chunks that the fastest worker can grab more work
-   than an even split would give it, few enough that the cursor is not
-   hammered per-task. *)
-let chunk_size ~tasks ~workers = max 1 (tasks / (workers * 4))
+let effective_workers ~oversubscribe ~cores ~jobs ~tasks =
+  let w = max 1 (min jobs tasks) in
+  if oversubscribe then w else min w (max 1 cores)
+
+let oversubscribe_from_env () =
+  match Sys.getenv_opt "OCCAMY_OVERSUBSCRIBE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let minor_heap_mult_from_env () =
+  match Sys.getenv_opt "OCCAMY_MINOR_HEAP_MULT" with
+  | None | Some "" -> 16
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some m when m >= 1 -> m
+    | Some _ | None -> 16)
+
+type observer =
+  worker:int -> index:int -> phase:[ `Start | `Stop | `Steal of int ] -> unit
+
+type stats = Work_steal.stats = {
+  st_workers : int;
+  st_tasks : int;
+  st_per_worker : Work_steal.worker_stats array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The shared pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pool_ref = ref None
+let pool_mutex = Mutex.create ()
+
+let the_pool () =
+  Mutex.lock pool_mutex;
+  let p =
+    match !pool_ref with
+    | Some p -> p
+    | None ->
+      let mult = minor_heap_mult_from_env () in
+      let p = Work_steal.create ~minor_heap_mult:mult () in
+      (* The caller participates as worker 0, and spawned workers can
+         only be joined from here, so tie both to this domain. *)
+      Work_steal.inflate_minor_heap mult;
+      at_exit (fun () -> Work_steal.shutdown p);
+      pool_ref := Some p;
+      p
+  in
+  Mutex.unlock pool_mutex;
+  p
+
+let pool_size () =
+  Mutex.lock pool_mutex;
+  let n = match !pool_ref with Some p -> Work_steal.size p | None -> 1 in
+  Mutex.unlock pool_mutex;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Cumulative totals                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type totals = {
+  t_maps : int;
+  t_tasks : int;
+  t_max_workers : int;
+  t_steals : int;
+  t_steal_attempts : int;
+  t_minor_collections : int;
+  t_major_collections : int;
+  t_minor_words : float;
+  t_promoted_words : float;
+  t_per_worker : Work_steal.worker_stats array;
+}
+
+let totals_mutex = Mutex.create ()
+let t_maps = ref 0
+let t_per_worker : Work_steal.worker_stats array ref = ref [||]
+
+let reset_totals () =
+  Mutex.lock totals_mutex;
+  t_maps := 0;
+  t_per_worker := [||];
+  Mutex.unlock totals_mutex
+
+let record_totals (s : stats) =
+  Mutex.lock totals_mutex;
+  incr t_maps;
+  let w = s.st_workers in
+  if Array.length !t_per_worker < w then begin
+    let bigger = Array.make w Work_steal.zero_worker_stats in
+    Array.blit !t_per_worker 0 bigger 0 (Array.length !t_per_worker);
+    t_per_worker := bigger
+  end;
+  Array.iteri
+    (fun i (ws : Work_steal.worker_stats) ->
+      let a = !t_per_worker.(i) in
+      !t_per_worker.(i) <-
+        {
+          Work_steal.ws_tasks = a.Work_steal.ws_tasks + ws.Work_steal.ws_tasks;
+          ws_steals = a.Work_steal.ws_steals + ws.Work_steal.ws_steals;
+          ws_steal_attempts =
+            a.Work_steal.ws_steal_attempts + ws.Work_steal.ws_steal_attempts;
+          ws_minor_collections =
+            a.Work_steal.ws_minor_collections
+            + ws.Work_steal.ws_minor_collections;
+          ws_major_collections =
+            a.Work_steal.ws_major_collections
+            + ws.Work_steal.ws_major_collections;
+          ws_minor_words =
+            a.Work_steal.ws_minor_words +. ws.Work_steal.ws_minor_words;
+          ws_promoted_words =
+            a.Work_steal.ws_promoted_words +. ws.Work_steal.ws_promoted_words;
+        })
+    s.st_per_worker;
+  Mutex.unlock totals_mutex
+
+let totals () =
+  Mutex.lock totals_mutex;
+  let per_worker = Array.copy !t_per_worker in
+  let maps = !t_maps in
+  Mutex.unlock totals_mutex;
+  let sum =
+    Work_steal.sum_stats
+      {
+        st_workers = Array.length per_worker;
+        st_tasks = 0;
+        st_per_worker = per_worker;
+      }
+  in
+  {
+    t_maps = maps;
+    t_tasks = sum.Work_steal.ws_tasks;
+    t_max_workers = Array.length per_worker;
+    t_steals = sum.Work_steal.ws_steals;
+    t_steal_attempts = sum.Work_steal.ws_steal_attempts;
+    t_minor_collections = sum.Work_steal.ws_minor_collections;
+    t_major_collections = sum.Work_steal.ws_major_collections;
+    t_minor_words = sum.Work_steal.ws_minor_words;
+    t_promoted_words = sum.Work_steal.ws_promoted_words;
+    t_per_worker = per_worker;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* map                                                                 *)
+(* ------------------------------------------------------------------ *)
 
 (* No-op task observer: the default keeps the hot path free of option
    checks inside the per-task loop. *)
 let no_observer ~worker:_ ~index:_ ~phase:_ = ()
 
-let map_array ?jobs ?(observer = no_observer) f tasks =
+let emit_stats user s =
+  record_totals s;
+  match user with Some k -> k s | None -> ()
+
+let map_array ?jobs ?oversubscribe ?(observer = no_observer) ?stats f tasks =
   let n = Array.length tasks in
   let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
   if jobs < 1 then invalid_arg "Domain_pool.map: jobs must be >= 1";
-  if jobs = 1 || n <= 1 then
-    Array.mapi
-      (fun i task ->
-        observer ~worker:0 ~index:i ~phase:`Start;
-        let v = f task in
-        observer ~worker:0 ~index:i ~phase:`Stop;
-        v)
-      tasks
-  else begin
-    let workers = min jobs n in
-    let results = Array.make n None in
-    let errors = Array.make n None in
-    let cursor = Atomic.make 0 in
-    let chunk = chunk_size ~tasks:n ~workers in
-    let worker w =
-      let continue_ = ref true in
-      while !continue_ do
-        let start = Atomic.fetch_and_add cursor chunk in
-        if start >= n then continue_ := false
-        else
-          for i = start to min (start + chunk) n - 1 do
-            observer ~worker:w ~index:i ~phase:`Start;
-            (match f tasks.(i) with
-            | v -> results.(i) <- Some v
-            | exception exn ->
-              let bt = Printexc.get_raw_backtrace () in
-              errors.(i) <- Some { index = i; exn; bt });
-            observer ~worker:w ~index:i ~phase:`Stop
-          done
-      done
+  let oversubscribe =
+    match oversubscribe with
+    | Some b -> b
+    | None -> oversubscribe_from_env ()
+  in
+  let eff =
+    effective_workers ~oversubscribe
+      ~cores:(Domain.recommended_domain_count ())
+      ~jobs ~tasks:n
+  in
+  if eff <= 1 || n <= 1 then begin
+    (* Sequential fast path: no pool, no domains; an exception aborts
+       the map immediately (the first failure is the lowest index). *)
+    let g0 = Gc.quick_stat () in
+    let out =
+      Array.mapi
+        (fun i task ->
+          observer ~worker:0 ~index:i ~phase:`Start;
+          let v = f task in
+          observer ~worker:0 ~index:i ~phase:`Stop;
+          v)
+        tasks
     in
-    let domains = Array.init workers (fun w -> Domain.spawn (fun () -> worker w)) in
-    Array.iter Domain.join domains;
-    (* Deterministic failure: the lowest-index error wins. *)
-    Array.iter
-      (function
-        | Some e -> Printexc.raise_with_backtrace e.exn e.bt
-        | None -> ())
-      errors;
+    let g1 = Gc.quick_stat () in
+    emit_stats stats
+      {
+        st_workers = 1;
+        st_tasks = n;
+        st_per_worker =
+          [|
+            {
+              Work_steal.zero_worker_stats with
+              Work_steal.ws_tasks = n;
+              ws_minor_collections =
+                g1.Gc.minor_collections - g0.Gc.minor_collections;
+              ws_major_collections =
+                g1.Gc.major_collections - g0.Gc.major_collections;
+              ws_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+              ws_promoted_words =
+                g1.Gc.promoted_words -. g0.Gc.promoted_words;
+            };
+          |];
+      };
+    out
+  end
+  else begin
+    let results = Array.make n None in
+    (* Work_steal.run raises the lowest-index task error itself, after
+       every task ran and [on_stats] fired. *)
+    ignore
+      (Work_steal.run (the_pool ()) ~workers:eff ~observer
+         ~on_stats:(emit_stats stats)
+         (fun i -> results.(i) <- Some (f tasks.(i)))
+         n);
     Array.map
       (function
         | Some v -> v
@@ -79,7 +242,9 @@ let map_array ?jobs ?(observer = no_observer) f tasks =
       results
   end
 
-let map ?jobs ?observer f xs =
+let map ?jobs ?oversubscribe ?observer ?stats f xs =
   match xs with
   | [] -> []
-  | xs -> Array.to_list (map_array ?jobs ?observer f (Array.of_list xs))
+  | xs ->
+    Array.to_list
+      (map_array ?jobs ?oversubscribe ?observer ?stats f (Array.of_list xs))

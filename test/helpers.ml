@@ -10,6 +10,14 @@ let check_float = Alcotest.(check (float 1e-6))
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(** Substring check, for asserting on diagnostic messages. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  nn = 0
+  ||
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
 (** Allocate the memory image a loop list needs, filled deterministically
     from [seed]; returns both a lookup function and the raw table. *)
 let fresh_memory ?(seed = 7) loops =

@@ -70,6 +70,91 @@ let test_recommended_jobs () =
   Helpers.check_bool "recommended capped" true (j <= 16);
   Helpers.check_int "cap applies" 1 (Dp.recommended_jobs ~cap:1 ())
 
+(* A private variable keeps these tests independent of any OCCAMY_JOBS
+   in the surrounding environment. *)
+let test_jobs_from_env () =
+  let var = "OCCAMY_TEST_JOBS" in
+  let warnings = ref [] in
+  let resolve v =
+    Unix.putenv var v;
+    warnings := [];
+    Dp.jobs_from_env ~var ~on_warning:(fun m -> warnings := m :: !warnings) ()
+  in
+  let recommended = Dp.recommended_jobs () in
+  Helpers.check_int "valid value used" 3 (resolve "3");
+  Helpers.check_bool "valid value: no warning" true (!warnings = []);
+  Helpers.check_int "empty falls back" recommended (resolve "");
+  Helpers.check_bool "empty: silent" true (!warnings = []);
+  (* A set-but-invalid value must fall back *loudly*, naming the
+     variable and the offending value. *)
+  List.iter
+    (fun bad ->
+      Helpers.check_int
+        (Printf.sprintf "%S falls back" bad)
+        recommended (resolve bad);
+      match !warnings with
+      | [ msg ] ->
+        Helpers.check_bool
+          (Printf.sprintf "warning for %S names the variable" bad)
+          true
+          (Helpers.contains msg var && Helpers.contains msg bad)
+      | ws ->
+        Alcotest.failf "%S: expected exactly one warning, got %d" bad
+          (List.length ws))
+    [ "abc"; "0"; "-2"; "2.5" ]
+
+let test_effective_workers () =
+  let eff = Dp.effective_workers in
+  Helpers.check_int "capped at cores" 4
+    (eff ~oversubscribe:false ~cores:4 ~jobs:16 ~tasks:100);
+  Helpers.check_int "capped at tasks" 3
+    (eff ~oversubscribe:false ~cores:8 ~jobs:16 ~tasks:3);
+  Helpers.check_int "capped at jobs" 2
+    (eff ~oversubscribe:false ~cores:8 ~jobs:2 ~tasks:100);
+  Helpers.check_int "oversubscribe lifts the core cap" 16
+    (eff ~oversubscribe:true ~cores:4 ~jobs:16 ~tasks:100);
+  Helpers.check_int "oversubscribe still capped at tasks" 5
+    (eff ~oversubscribe:true ~cores:4 ~jobs:16 ~tasks:5);
+  Helpers.check_int "floor of 1" 1
+    (eff ~oversubscribe:false ~cores:0 ~jobs:4 ~tasks:100);
+  Helpers.check_int "zero tasks floors at 1" 1
+    (eff ~oversubscribe:false ~cores:8 ~jobs:4 ~tasks:0)
+
+let test_oversubscribed_map () =
+  (* Forcing more workers than this host has cores must change nothing
+     about the results, and the stats must report the forced width. *)
+  let input = List.init 50 Fun.id in
+  let expected = List.map (fun i -> (3 * i) - 1) input in
+  let seen = ref None in
+  let out =
+    Dp.map ~jobs:4 ~oversubscribe:true
+      ~stats:(fun s -> seen := Some s)
+      (fun i -> (3 * i) - 1)
+      input
+  in
+  Helpers.check_bool "results identical" true (out = expected);
+  match !seen with
+  | None -> Alcotest.fail "stats callback did not fire"
+  | Some s ->
+    Helpers.check_int "forced worker count" 4 s.Dp.st_workers;
+    Helpers.check_int "every task accounted" 50
+      (Array.fold_left
+         (fun acc w -> acc + w.Occamy_util.Work_steal.ws_tasks)
+         0 s.Dp.st_per_worker)
+
+let test_totals_accumulate () =
+  Dp.reset_totals ();
+  ignore (Dp.map ~jobs:2 ~oversubscribe:true (fun x -> x) (List.init 10 Fun.id));
+  ignore (Dp.map ~jobs:1 (fun x -> x) (List.init 5 Fun.id));
+  let t = Dp.totals () in
+  Helpers.check_int "maps recorded" 2 t.Dp.t_maps;
+  Helpers.check_int "tasks summed" 15 t.Dp.t_tasks;
+  Helpers.check_int "max workers" 2 t.Dp.t_max_workers;
+  Helpers.check_int "per-worker rows" 2 (Array.length t.Dp.t_per_worker);
+  Helpers.check_bool "pool persists across maps" true (Dp.pool_size () >= 1);
+  Dp.reset_totals ();
+  Helpers.check_int "reset" 0 (Dp.totals ()).Dp.t_maps
+
 let suites =
   [
     ( "domain_pool",
@@ -83,5 +168,9 @@ let suites =
           test_exception_propagation;
         Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
         Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs;
+        Alcotest.test_case "jobs from env" `Quick test_jobs_from_env;
+        Alcotest.test_case "effective workers" `Quick test_effective_workers;
+        Alcotest.test_case "oversubscribed map" `Quick test_oversubscribed_map;
+        Alcotest.test_case "totals accumulate" `Quick test_totals_accumulate;
       ] );
   ]

@@ -88,9 +88,12 @@ let test_lane_sweep_shape () =
   (* Figure 14(a): the memory phase flattens; the compute phase keeps
      gaining. *)
   let phases = Fig14.sweep_phases () in
-  let solo spec g = Fig14.solo_time spec ~granules:g in
+  (* compile once per phase, as lane_sweep_table itself now does *)
+  let solo wl g = Fig14.solo_time wl ~granules:g in
   let _, mem_phase = List.hd phases in
   let _, comp_phase = List.nth phases 2 in
+  let mem_phase = Fig14.compile_solo mem_phase
+  and comp_phase = Fig14.compile_solo comp_phase in
   let mem8 = solo mem_phase 2 and mem28 = solo mem_phase 7 in
   Helpers.check_bool "memory phase flat beyond 8 lanes" true
     (float_of_int mem28 > 0.85 *. float_of_int mem8);

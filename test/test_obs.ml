@@ -481,6 +481,7 @@ let test_pool_observer_sequential () =
     match phase with
     | `Start -> starts := (worker, index) :: !starts
     | `Stop -> stops := (worker, index) :: !stops
+    | `Steal _ -> Alcotest.fail "no steals on the sequential path"
   in
   let out =
     Occamy_util.Domain_pool.map ~jobs:1 ~observer (fun x -> x * x) [ 1; 2; 3 ]
@@ -498,7 +499,7 @@ let test_pool_observer_parallel () =
   let counts = Array.init workers (fun _ -> ref 0) in
   let observer ~worker ~index:_ ~phase =
     match phase with
-    | `Start -> ()
+    | `Start | `Steal _ -> ()
     | `Stop -> incr counts.(worker)
   in
   let tasks = List.init 10 Fun.id in
@@ -531,6 +532,38 @@ let test_sweep_observer_spans () =
          | _ -> false)
        evs)
 
+let test_sweep_observer_steals () =
+  (* Under forced parallelism every track still pairs its begin/end
+     events, and any Task_steal carries a victim that is a real, other
+     worker. Steals themselves are schedule-dependent, so only their
+     shape is asserted, not their count. *)
+  let workers = 3 and n = 24 in
+  let trace = Trace.for_sweep ~workers () in
+  let observer =
+    Trace.sweep_observer trace ~label_of:(fun i -> Printf.sprintf "t%d" i)
+  in
+  ignore
+    (Occamy_util.Domain_pool.map ~jobs:workers ~oversubscribe:true ~observer
+       (fun x -> x * 2)
+       (List.init n Fun.id));
+  let begins = ref 0 and ends = ref 0 in
+  for w = 0 to workers - 1 do
+    List.iter
+      (fun (_, ev) ->
+        match ev with
+        | Event.Task_begin _ -> incr begins
+        | Event.Task_end _ -> incr ends
+        | Event.Task_steal { worker; victim; index; _ } ->
+          check_int "steal recorded on the thief's track" w worker;
+          check_bool "victim is another worker" true (victim <> worker);
+          check_bool "victim in range" true (victim >= 0 && victim < workers);
+          check_bool "index in range" true (index >= 0 && index < n)
+        | _ -> ())
+      (Trace.events trace ~track:w)
+  done;
+  check_int "one begin per task" n !begins;
+  check_int "one end per task" n !ends
+
 let suites =
   [
     ( "obs",
@@ -547,6 +580,8 @@ let suites =
         Alcotest.test_case "traced run content" `Quick test_traced_run_content;
         Alcotest.test_case "chrome json valid" `Quick test_chrome_json_valid;
         Alcotest.test_case "csv shape" `Quick test_csv_shape;
+        Alcotest.test_case "sweep observer steals" `Quick
+          test_sweep_observer_steals;
         Alcotest.test_case "gantt" `Quick test_gantt;
         Alcotest.test_case "chrome json escaping" `Quick
           test_chrome_json_escaping;

@@ -22,6 +22,17 @@ let test_parallel_matches_sequential () =
   Helpers.check_bool "results bit-identical (-j 1 vs -j 4)" true
     (seq.Pair_run.results = par.Pair_run.results)
 
+(* On hosts with few cores the elastic cap can quietly make -j 4 run
+   sequentially; forcing oversubscription pins the test to a genuinely
+   concurrent, stealing schedule everywhere. *)
+let test_oversubscribed_matches_sequential () =
+  let p = find_pair "20+17" in
+  let seq = Pair_run.run_pair ~tc_scale:0.3 ~jobs:1 p in
+  let par = Pair_run.run_pair ~tc_scale:0.3 ~jobs:4 ~oversubscribe:true p in
+  Helpers.check_bool "results bit-identical under forced oversubscription"
+    true
+    (seq.Pair_run.results = par.Pair_run.results)
+
 let test_parallel_group_matches_sequential () =
   let g = List.hd Suite.four_core_groups in
   let seq = Occamy_experiments.Fig16.run_group ~tc_scale:0.3 ~jobs:1 g in
@@ -61,6 +72,8 @@ let suites =
       [
         Alcotest.test_case "pair -j1 == -j4" `Quick
           test_parallel_matches_sequential;
+        Alcotest.test_case "pair -j1 == -j4 oversubscribed" `Quick
+          test_oversubscribed_matches_sequential;
         Alcotest.test_case "group -j1 == -j4" `Slow
           test_parallel_group_matches_sequential;
         Alcotest.test_case "workload reuse" `Quick test_workload_reuse;

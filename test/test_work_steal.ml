@@ -1,0 +1,238 @@
+(* Property tests of the work-stealing engine itself, below the
+   Domain_pool facade: whatever the worker count, task count or duration
+   skew, every task runs exactly once, errors resolve to the lowest
+   index, observers pair their events, and the stats add up. The pools
+   here are private to each test (shutdown at the end), so forcing
+   worker counts past the host's cores is fine — jobs are tiny. *)
+
+module Ws = Occamy_util.Work_steal
+
+let with_pool f =
+  let pool = Ws.create ~minor_heap_mult:1 () in
+  Fun.protect ~finally:(fun () -> Ws.shutdown pool) (fun () -> f pool)
+
+(* Deterministic task-duration skew: a splitmix-style hash of (seed, i)
+   drives a busy loop, so schedules vary across indices but the test is
+   reproducible. *)
+let hash ~seed i =
+  let z = (seed + ((i + 1) * 0x9E3779B9)) land max_int in
+  let z = z lxor (z lsr 15) in
+  let z = z * 0x85EBCA77 land max_int in
+  z lxor (z lsr 13)
+
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let test_all_tasks_once_all_shapes () =
+  (* Task counts from 0 to 10x the worker count, workers 1..4: each index
+     runs exactly once and the stats account for every task. *)
+  with_pool (fun pool ->
+      List.iter
+        (fun workers ->
+          List.iter
+            (fun n ->
+              let ran = Array.make (max n 1) 0 in
+              let stats =
+                Ws.run pool ~workers
+                  (fun i -> ran.(i) <- ran.(i) + 1)
+                  n
+              in
+              for i = 0 to n - 1 do
+                if ran.(i) <> 1 then
+                  Alcotest.failf "workers=%d n=%d: task %d ran %d times"
+                    workers n i ran.(i)
+              done;
+              Helpers.check_int
+                (Printf.sprintf "st_tasks (workers=%d n=%d)" workers n)
+                n stats.Ws.st_tasks;
+              Helpers.check_int
+                (Printf.sprintf "per-worker tasks sum (workers=%d n=%d)"
+                   workers n)
+                n
+                (Ws.sum_stats stats).Ws.ws_tasks;
+              Helpers.check_int
+                (Printf.sprintf "st_workers (workers=%d n=%d)" workers n)
+                (if n = 0 then 0 else max 1 (min workers n))
+                stats.Ws.st_workers)
+            [ 0; 1; 2; 3; 5; 8; 13; 40 ])
+        [ 1; 2; 3; 4 ])
+
+let test_skewed_durations () =
+  (* A few pathologically heavy tasks at the front of worker 0's range:
+     without stealing the other workers would idle; with it the job still
+     completes with every result present and correct. *)
+  with_pool (fun pool ->
+      let n = 32 in
+      let out = Array.make n 0 in
+      ignore
+        (Ws.run pool ~workers:4
+           (fun i ->
+             if i < 4 then spin 200_000 else spin (hash ~seed:7 i mod 500);
+             out.(i) <- (i * i) + 1)
+           n);
+      Array.iteri
+        (fun i v ->
+          Helpers.check_int (Printf.sprintf "out.(%d)" i) ((i * i) + 1) v)
+        out)
+
+let test_random_durations_repeated () =
+  with_pool (fun pool ->
+      for seed = 1 to 5 do
+        let n = 50 in
+        let count = Array.make n 0 in
+        ignore
+          (Ws.run pool ~workers:3
+             (fun i ->
+               spin (hash ~seed i mod 2_000);
+               count.(i) <- count.(i) + 1)
+             n);
+        Array.iteri
+          (fun i c ->
+            if c <> 1 then
+              Alcotest.failf "seed %d: task %d ran %d times" seed i c)
+          count
+      done)
+
+let test_lowest_index_error_wins () =
+  (* Several failing tasks scattered over the deques: whatever worker
+     hits which failure in whatever order, the caller sees the lowest
+     index — and every task still ran. *)
+  with_pool (fun pool ->
+      let n = 60 in
+      let ran = Array.make n 0 in
+      let failing = [ 11; 17; 43 ] in
+      match
+        Ws.run pool ~workers:4
+          (fun i ->
+            ran.(i) <- ran.(i) + 1;
+            spin (hash ~seed:3 i mod 1_000);
+            if List.mem i failing then failwith (Printf.sprintf "boom%d" i))
+          n
+      with
+      | _ -> Alcotest.fail "expected the job to raise"
+      | exception Failure msg ->
+        Alcotest.(check string) "lowest index wins" "boom11" msg;
+        Array.iteri
+          (fun i c ->
+            if c <> 1 then Alcotest.failf "task %d ran %d times" i c)
+          ran)
+
+let test_on_stats_fires_on_error () =
+  with_pool (fun pool ->
+      let got = ref None in
+      (match
+         Ws.run pool ~workers:2
+           ~on_stats:(fun s -> got := Some s)
+           (fun i -> if i = 0 then failwith "boom")
+           8
+       with
+      | _ -> Alcotest.fail "expected the job to raise"
+      | exception Failure _ -> ());
+      match !got with
+      | None -> Alcotest.fail "on_stats did not fire on a failing job"
+      | Some s -> Helpers.check_int "stats complete despite error" 8
+                    (Ws.sum_stats s).Ws.ws_tasks)
+
+let test_observer_pairing_under_stealing () =
+  (* Per-worker event logs (race-free: each worker writes only its own
+     slot). Every index must get exactly one Start and one Stop, in that
+     order on one worker; a Steal must name another worker's deque and
+     immediately precede its Start on the same worker. *)
+  with_pool (fun pool ->
+      let workers = 4 and n = 40 in
+      let logs = Array.init workers (fun _ -> ref []) in
+      let observer ~worker ~index ~phase =
+        logs.(worker) := (index, phase) :: !(logs.(worker))
+      in
+      let stats =
+        Ws.run pool ~workers ~observer
+          (fun i -> spin (if i mod 7 = 0 then 100_000 else 100))
+          n
+      in
+      let starts = Array.make n 0 and stops = Array.make n 0 in
+      let steals = ref 0 in
+      Array.iteri
+        (fun w log ->
+          let rec walk = function
+            | [] -> ()
+            | (i, `Steal v) :: rest ->
+              incr steals;
+              Helpers.check_bool "steal victim is another worker" true
+                (v <> w && v >= 0 && v < workers);
+              (match rest with
+              | (i', `Start) :: _ when i' = i -> ()
+              | _ -> Alcotest.failf "steal of %d not followed by its start" i);
+              walk rest
+            | (i, `Start) :: rest ->
+              starts.(i) <- starts.(i) + 1;
+              (* the matching Stop must come before this worker starts
+                 anything else *)
+              (match rest with
+              | (i', `Stop) :: _ when i' = i -> ()
+              | _ -> Alcotest.failf "start of %d not directly stopped" i);
+              walk rest
+            | (i, `Stop) :: rest ->
+              stops.(i) <- stops.(i) + 1;
+              walk rest
+          in
+          walk (List.rev !log))
+        logs;
+      for i = 0 to n - 1 do
+        if starts.(i) <> 1 || stops.(i) <> 1 then
+          Alcotest.failf "task %d: %d starts, %d stops" i starts.(i) stops.(i)
+      done;
+      Helpers.check_int "observer steals match stats" !steals
+        (Ws.sum_stats stats).Ws.ws_steals)
+
+let test_pool_reuse_and_shutdown () =
+  let pool = Ws.create ~minor_heap_mult:1 () in
+  Helpers.check_int "no domains before first run" 1 (Ws.size pool);
+  ignore (Ws.run pool ~workers:3 (fun _ -> ()) 12);
+  Helpers.check_int "grown to 3" 3 (Ws.size pool);
+  (* A narrower job must not shrink the pool; a wider one grows it. *)
+  ignore (Ws.run pool ~workers:2 (fun _ -> ()) 12);
+  Helpers.check_int "kept at 3" 3 (Ws.size pool);
+  ignore (Ws.run pool ~workers:4 (fun _ -> ()) 12);
+  Helpers.check_int "grown to 4" 4 (Ws.size pool);
+  Ws.shutdown pool;
+  Helpers.check_int "shutdown joins all" 1 (Ws.size pool);
+  (* Still usable after shutdown. *)
+  let out = Array.make 6 0 in
+  ignore (Ws.run pool ~workers:2 (fun i -> out.(i) <- i + 1) 6);
+  Helpers.check_bool "usable after shutdown" true
+    (Array.to_list out = [ 1; 2; 3; 4; 5; 6 ]);
+  Ws.shutdown pool
+
+let test_invalid_args () =
+  with_pool (fun pool ->
+      (match Ws.run pool ~workers:0 (fun _ -> ()) 4 with
+      | _ -> Alcotest.fail "workers=0 must be rejected"
+      | exception Invalid_argument _ -> ());
+      match Ws.run pool ~workers:2 (fun _ -> ()) (-1) with
+      | _ -> Alcotest.fail "n=-1 must be rejected"
+      | exception Invalid_argument _ -> ())
+
+let suites =
+  [
+    ( "work_steal",
+      [
+        Alcotest.test_case "all tasks once, 0..10x workers" `Quick
+          test_all_tasks_once_all_shapes;
+        Alcotest.test_case "skewed durations" `Quick test_skewed_durations;
+        Alcotest.test_case "random durations" `Quick
+          test_random_durations_repeated;
+        Alcotest.test_case "lowest-index error wins" `Quick
+          test_lowest_index_error_wins;
+        Alcotest.test_case "on_stats on error" `Quick
+          test_on_stats_fires_on_error;
+        Alcotest.test_case "observer pairing under stealing" `Quick
+          test_observer_pairing_under_stealing;
+        Alcotest.test_case "pool reuse and shutdown" `Quick
+          test_pool_reuse_and_shutdown;
+        Alcotest.test_case "invalid args" `Quick test_invalid_args;
+      ] );
+  ]
