@@ -16,20 +16,127 @@
 module Table = Occamy_util.Table
 module Domain_pool = Occamy_util.Domain_pool
 module Work_steal = Occamy_util.Work_steal
+module Bench_log = Occamy_util.Bench_log
 module Arch = Occamy_core.Arch
 module Config = Occamy_core.Config
 module E = Occamy_experiments
 
 let known_sections =
   [ "table4"; "table3"; "fig2"; "table5"; "fig14"; "fig10"; "fig16"; "fig12";
-    "ablations"; "micro"; "perf"; "scaling" ]
+    "ablations"; "micro"; "perf"; "scaling"; "profile" ]
 
 let usage () =
   Printf.eprintf
     "usage: bench [-j N] [--max-jobs N] [--oversubscribe] [--trace-dir DIR] \
-     [--golden-check|--golden-update] [%s]...\n\
+     [--golden-check|--golden-update] [--profile] [%s]...\n\
+    \       bench compare [--baseline FILE] [--threshold PCT] [--window N] \
+     [FILE]...\n\
      %!"
     (String.concat "|" known_sections)
+
+(* ------------------------------------------------------------------ *)
+(* `bench compare`: gate the latest run of each trajectory group        *)
+(* against a named baseline or the trailing median (Bench_log).         *)
+(* ------------------------------------------------------------------ *)
+
+let run_compare args =
+  let bad msg =
+    Printf.eprintf "bench compare: %s\n%!" msg;
+    usage ();
+    exit 2
+  in
+  let parse_float flag s =
+    match float_of_string_opt s with
+    | Some x when x > 0.0 -> x
+    | _ -> bad (Printf.sprintf "%s expects a positive number, got %S" flag s)
+  in
+  let rec parse threshold window baseline files = function
+    | [] -> (threshold, window, baseline, List.rev files)
+    | "--threshold" :: v :: rest ->
+      parse (parse_float "--threshold" v /. 100.0) window baseline files rest
+    | [ "--threshold" ] -> bad "--threshold expects a percentage"
+    | "--window" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> parse threshold n baseline files rest
+      | _ -> bad (Printf.sprintf "--window expects a count, got %S" v))
+    | [ "--window" ] -> bad "--window expects a count"
+    | "--baseline" :: f :: rest -> parse threshold window (Some f) files rest
+    | [ "--baseline" ] -> bad "--baseline expects a file"
+    | s :: _ when String.length s > 0 && s.[0] = '-' ->
+      bad (Printf.sprintf "unknown option %S" s)
+    | f :: rest -> parse threshold window baseline (f :: files) rest
+  in
+  let threshold, window, baseline_file, files =
+    parse 0.10 5 None [] args
+  in
+  let files =
+    if files <> [] then files
+    else
+      List.filter Sys.file_exists
+        [ Bench_log.sections_path; Bench_log.perf_path;
+          Bench_log.profile_path ]
+  in
+  if files = [] then bad "no trajectory files found (run some bench sections first)";
+  let load_all paths =
+    List.concat_map
+      (fun path ->
+        let entries, warnings = Bench_log.load ~path in
+        List.iter (Printf.eprintf "bench compare: warning: %s\n%!") warnings;
+        entries)
+      paths
+  in
+  let entries = load_all files in
+  let baseline =
+    Option.map
+      (fun f ->
+        if not (Sys.file_exists f) then
+          bad (Printf.sprintf "baseline file %s does not exist" f);
+        load_all [ f ])
+      baseline_file
+  in
+  let comparisons =
+    Bench_log.compare_entries ~threshold ~window ?baseline entries
+  in
+  if comparisons = [] then begin
+    Printf.printf
+      "bench compare: nothing to compare yet (each group needs history%s)\n%!"
+      (match baseline_file with
+      | Some f -> Printf.sprintf " or a matching group in %s" f
+      | None -> "");
+    exit 0
+  end;
+  Table.print
+    (Bench_log.comparison_table
+       ~title:
+         (Printf.sprintf "Bench trajectory: latest vs %s (gate: +%.0f%%)"
+            (match baseline_file with
+            | Some f -> "baseline " ^ f
+            | None -> Printf.sprintf "trailing median (window %d)" window)
+            (threshold *. 100.0))
+       comparisons);
+  match Bench_log.regressions comparisons with
+  | [] ->
+    Printf.printf "bench compare: no regression above %.0f%%\n%!"
+      (threshold *. 100.0)
+  | regs ->
+    Printf.eprintf "bench compare: %d group%s regressed more than %.0f%%:\n%!"
+      (List.length regs)
+      (if List.length regs > 1 then "s" else "")
+      (threshold *. 100.0);
+    List.iter
+      (fun c ->
+        Printf.eprintf "  %s (-j%d): %.3fs vs %.3fs (%.2fx)\n%!"
+          c.Bench_log.c_section c.Bench_log.c_jobs c.Bench_log.c_latest
+          c.Bench_log.c_baseline c.Bench_log.c_ratio)
+      regs;
+    exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "compare" :: rest ->
+    run_compare rest;
+    exit 0
+  | _ -> ()
 
 (* `-j N` / `-jN` / `--jobs N` selects the worker-domain count; the
    OCCAMY_JOBS environment variable is the fallback, then the machine's
@@ -49,32 +156,43 @@ let jobs, oversubscribe, trace_dir, golden_mode, requested =
     | Some j when j >= 1 -> j
     | _ -> bad (Printf.sprintf "invalid job count %S" s)
   in
-  let rec parse jobs cap osub tdir golden acc = function
-    | [] -> (jobs, cap, osub, tdir, golden, List.rev acc)
+  let rec parse jobs cap osub tdir golden prof acc = function
+    | [] -> (jobs, cap, osub, tdir, golden, prof, List.rev acc)
     | ("-j" | "--jobs") :: n :: rest ->
-      parse (Some (parse_jobs n)) cap osub tdir golden acc rest
+      parse (Some (parse_jobs n)) cap osub tdir golden prof acc rest
     | [ ("-j" | "--jobs") ] -> bad "-j expects a count"
     | "--max-jobs" :: n :: rest ->
-      parse jobs (Some (parse_jobs n)) osub tdir golden acc rest
+      parse jobs (Some (parse_jobs n)) osub tdir golden prof acc rest
     | [ "--max-jobs" ] -> bad "--max-jobs expects a count"
-    | "--oversubscribe" :: rest -> parse jobs cap true tdir golden acc rest
-    | "--trace-dir" :: d :: rest -> parse jobs cap osub (Some d) golden acc rest
+    | "--oversubscribe" :: rest -> parse jobs cap true tdir golden prof acc rest
+    | "--trace-dir" :: d :: rest ->
+      parse jobs cap osub (Some d) golden prof acc rest
     | [ "--trace-dir" ] -> bad "--trace-dir expects a directory"
     | "--golden-check" :: rest ->
-      parse jobs cap osub tdir Golden_check acc rest
+      parse jobs cap osub tdir Golden_check prof acc rest
     | "--golden-update" :: rest ->
-      parse jobs cap osub tdir Golden_update acc rest
+      parse jobs cap osub tdir Golden_update prof acc rest
+    | "--profile" :: rest -> parse jobs cap osub tdir golden true acc rest
     | s :: rest when String.length s > 2 && String.sub s 0 2 = "-j" ->
       parse
         (Some (parse_jobs (String.sub s 2 (String.length s - 2))))
-        cap osub tdir golden acc rest
+        cap osub tdir golden prof acc rest
     | s :: rest when String.length s > 0 && s.[0] = '-' ->
       ignore rest;
       bad (Printf.sprintf "unknown option %S" s)
-    | s :: rest -> parse jobs cap osub tdir golden (s :: acc) rest
+    | s :: rest -> parse jobs cap osub tdir golden prof (s :: acc) rest
   in
-  let jobs, cap, osub, tdir, golden, requested =
-    parse None None false None No_golden [] (List.tl (Array.to_list Sys.argv))
+  let jobs, cap, osub, tdir, golden, prof, requested =
+    parse None None false None No_golden false []
+      (List.tl (Array.to_list Sys.argv))
+  in
+  (* `--profile` adds the profile section to an explicit section list
+     (with no sections given, every section — profile included — runs
+     anyway). *)
+  let requested =
+    if prof && requested <> [] && not (List.mem "profile" requested) then
+      requested @ [ "profile" ]
+    else requested
   in
   let tdir =
     match tdir with Some _ -> tdir | None -> Sys.getenv_opt "OCCAMY_TRACE"
@@ -99,38 +217,12 @@ let jobs, oversubscribe, trace_dir, golden_mode, requested =
 let section_enabled name = requested = [] || List.mem name requested
 
 (* Machine-readable per-section timings, one JSON object per line,
-   appended so successive runs accumulate a history. Each line also
-   carries the scheduler diagnostics accumulated by Domain_pool since
-   the last [reset_totals] — effective workers, steal counts and
-   per-worker GC deltas — so a scaling regression in the history is
-   attributable (oversubscribed? steal-starved? minor-GC-bound?)
-   without re-running under a profiler. *)
-let sections_json = "BENCH_sections.json"
-
+   appended so successive runs accumulate a history; format and
+   schema-versioning live in Bench_log (which also fixes the old fig12
+   all-zero line: round-trip seconds printing and a non-empty worker
+   vector even for pool-free sections). *)
 let record_section ?(jobs_used = jobs) name seconds =
-  let t = Domain_pool.totals () in
-  let per f =
-    String.concat ","
-      (Array.to_list (Array.map f t.Domain_pool.t_per_worker))
-  in
-  let oc =
-    open_out_gen [ Open_append; Open_creat ] 0o644 sections_json
-  in
-  Printf.fprintf oc
-    "{\"section\":\"%s\",\"seconds\":%.3f,\"jobs\":%d,\"workers\":%d,\
-     \"maps\":%d,\"tasks\":%d,\"steals\":%d,\"steal_attempts\":%d,\
-     \"minor_collections\":%d,\"major_collections\":%d,\
-     \"promoted_words\":%.0f,\"worker_tasks\":[%s],\"worker_steals\":[%s],\
-     \"worker_minor_collections\":[%s],\"unix_time\":%.0f}\n"
-    name seconds jobs_used t.Domain_pool.t_max_workers
-    t.Domain_pool.t_maps t.Domain_pool.t_tasks t.Domain_pool.t_steals
-    t.Domain_pool.t_steal_attempts t.Domain_pool.t_minor_collections
-    t.Domain_pool.t_major_collections t.Domain_pool.t_promoted_words
-    (per (fun w -> string_of_int w.Work_steal.ws_tasks))
-    (per (fun w -> string_of_int w.Work_steal.ws_steals))
-    (per (fun w -> string_of_int w.Work_steal.ws_minor_collections))
-    (Unix.time ());
-  close_out oc
+  Bench_log.record_section ~section:name ~seconds ~jobs:jobs_used ()
 
 let timed name f =
   if section_enabled name then begin
@@ -342,7 +434,7 @@ let run_micro () =
 (* Simulator throughput: naive loop vs fast-forward (BENCH_perf.json)  *)
 (* ------------------------------------------------------------------ *)
 
-let perf_json = "BENCH_perf.json"
+let perf_json = Bench_log.perf_path
 
 (* The CI perf-smoke gate: generous and flake-resistant — fail only if
    fast-forwarding makes the whole measured set >10% slower overall. *)
@@ -454,6 +546,54 @@ let run_scaling () =
       t_par t_seq;
     exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* Self-profile: where do dense-run simulator cycles go?               *)
+(* (`bench profile` / `--profile`; writes BENCH_profile.json)          *)
+(* ------------------------------------------------------------------ *)
+
+let profile_json = Bench_log.profile_path
+
+let run_profile () =
+  let reports =
+    List.map (fun arch -> E.Prof_run.profile_pair ~arch ()) Arch.all
+  in
+  List.iter
+    (fun r ->
+      if r.E.Prof_run.rp_arch = Arch.Occamy then begin
+        Table.print (E.Prof_run.summary_table r);
+        Table.print (E.Prof_run.work_table r)
+      end;
+      Printf.printf "  %-8s %s\n%!"
+        (Arch.name r.E.Prof_run.rp_arch)
+        (E.Prof_run.top3_line r);
+      E.Prof_run.record ~scenario:"pair" r)
+    reports;
+  Printf.printf "  wrote %s\n%!" profile_json;
+  let ov =
+    E.Prof_run.measure_overhead ~arch:Arch.Occamy
+      (Occamy_workloads.Motivating.pair ())
+  in
+  Printf.printf
+    "  profiling overhead (Occamy pair, best of 3): plain %.3fs, enabled \
+     %.3fs (%+.1f%%)\n%!"
+    ov.E.Prof_run.ov_plain_seconds ov.E.Prof_run.ov_enabled_seconds
+    ((ov.E.Prof_run.ov_enabled_ratio -. 1.0) *. 100.0);
+  (* Exclusive attribution partitions sampled time, so the shares must
+     sum to 100% whenever anything was sampled — a broken scope pairing
+     shows up here before it corrupts a report. *)
+  List.iter
+    (fun r ->
+      let shares = Occamy_obs.Prof.shares r.E.Prof_run.rp_prof in
+      let sum = List.fold_left (fun a (_, s) -> a +. s) 0.0 shares in
+      if shares <> [] && Float.abs (sum -. 100.0) > 1.0 then begin
+        Printf.eprintf
+          "bench: %s stage shares sum to %.3f%%, expected 100%% (unbalanced \
+           profiler scopes?)\n%!"
+          (Arch.name r.E.Prof_run.rp_arch) sum;
+        exit 1
+      end)
+    reports
 
 (* ------------------------------------------------------------------ *)
 (* Golden-metrics drift gate (--golden-check / --golden-update)        *)
@@ -602,4 +742,5 @@ let () =
   timed "micro" run_micro;
   timed "perf" run_perf;
   timed "scaling" run_scaling;
+  timed "profile" run_profile;
   print_endline "\nAll requested sections completed."

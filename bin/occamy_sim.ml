@@ -162,6 +162,29 @@ let perf_arg =
            cross-checked for bit-identical metrics as part of the \
            measurement.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Self-profile the simulator while it runs: attribute its own \
+           wall-time to pipeline stages (frontend, rename, dispatch, \
+           execute-apply, LSU retire, lane-manager replan, ...) via \
+           sampled monotonic-clock scopes and print a per-stage summary \
+           table per architecture. Results are bit-identical with or \
+           without this flag — the profiler only reads the clock.")
+
+let profile_folded_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-folded" ] ~docv:"FILE"
+        ~doc:
+          "With --profile, also write the stage breakdown as folded \
+           stacks to $(docv) for flamegraph.pl (one file per \
+           architecture when running all four, architecture name \
+           suffixed before the extension).")
+
 (* --perf mode: time naive vs fast-forward on the selected pair and
    persist the samples. Timings must not contend, so this path is
    sequential and ignores --jobs. *)
@@ -189,17 +212,19 @@ let arch_path path ~multi a =
     | ext -> Filename.remove_extension path ^ "." ^ name ^ ext
 
 let run_archs ?cfg ?jobs ?oversubscribe ?(trace_json = None)
-    ?(trace_csv = None) ?(gantt = false) arch wls_of =
+    ?(trace_csv = None) ?(gantt = false) ?(profile = false)
+    ?(profile_folded = None) arch wls_of =
   let archs = match arch with Some a -> [ a ] | None -> Arch.all in
   let multi = List.length archs > 1 in
   let want_trace = trace_json <> None || trace_csv <> None || gantt in
+  let want_prof = profile || profile_folded <> None in
   let cores =
     (match cfg with Some c -> c | None -> Config.default).Config.cores
   in
   (* Compile once; the simulator treats workloads as read-only, so the
      same compiled value feeds every (possibly concurrent) simulation.
-     Each simulation owns its trace (created inside the worker), so
-     recording stays single-writer even under -j N. *)
+     Each simulation owns its trace and profiler (created inside the
+     worker), so recording stays single-writer even under -j N. *)
   let wls = wls_of () in
   let results =
     Occamy_util.Domain_pool.map ?jobs ?oversubscribe
@@ -208,7 +233,11 @@ let run_archs ?cfg ?jobs ?oversubscribe ?(trace_json = None)
           if want_trace then Occamy_obs.Trace.for_sim ~cores ()
           else Occamy_obs.Trace.disabled
         in
-        (a, (Sim.simulate ?cfg ~trace ~arch:a wls, trace)))
+        let prof =
+          if want_prof then Occamy_obs.Prof.create ()
+          else Occamy_obs.Prof.disabled
+        in
+        (a, (Sim.simulate ?cfg ~trace ~prof ~arch:a wls, (trace, prof))))
       archs
   in
   let baseline =
@@ -216,8 +245,30 @@ let run_archs ?cfg ?jobs ?oversubscribe ?(trace_json = None)
     else None
   in
   List.iter (fun (_, (r, _)) -> print_result ?baseline r) results;
+  if profile then
+    List.iter
+      (fun (a, (_, (_, prof))) ->
+        Table.print
+          (Occamy_obs.Prof.summary_table
+             ~title:
+               (Fmt.str "%a self-profile (%d cycles, %d sampled, 1/%d)"
+                  Arch.pp a
+                  (Occamy_obs.Prof.cycles prof)
+                  (Occamy_obs.Prof.sampled_cycles prof)
+                  (Occamy_obs.Prof.sample_every prof))
+             prof))
+      results;
+  Option.iter
+    (fun path ->
+      List.iter
+        (fun (a, (_, (_, prof))) ->
+          let path = arch_path path ~multi a in
+          Occamy_util.Json.write_file ~path (Occamy_obs.Prof.folded prof);
+          Fmt.pr "wrote %s@." path)
+        results)
+    profile_folded;
   List.iter
-    (fun (a, (_, trace)) ->
+    (fun (a, (_, (trace, _))) ->
       Option.iter
         (fun path ->
           let path = arch_path path ~multi a in
@@ -249,7 +300,8 @@ let run_cmd =
              $(b,occamy-sim list). Prefix with ocv: for the OpenCV pairs, \
              e.g. ocv:6+1.")
   in
-  let run pair arch jobs max_jobs osub trace_json trace_csv gantt perf =
+  let run pair arch jobs max_jobs osub trace_json trace_csv gantt perf
+      profile profile_folded =
     let lookup label =
       if String.length label > 4 && String.sub label 0 4 = "ocv:" then
         let l = String.sub label 4 (String.length label - 4) in
@@ -271,7 +323,7 @@ let run_cmd =
         run_archs
           ~jobs:(resolve_jobs ?cap:max_jobs jobs)
           ?oversubscribe:(resolve_oversubscribe osub) ~trace_json ~trace_csv
-          ~gantt arch wls_of;
+          ~gantt ~profile ~profile_folded arch wls_of;
       `Ok ()
   in
   Cmd.v
@@ -280,23 +332,25 @@ let run_cmd =
       ret
         (const run $ pair_arg $ arch_arg $ jobs_arg $ max_jobs_arg
        $ oversubscribe_arg $ trace_arg $ trace_csv_arg $ gantt_arg
-       $ perf_arg))
+       $ perf_arg $ profile_arg $ profile_folded_arg))
 
 let motivating_cmd =
-  let run arch jobs max_jobs osub trace_json trace_csv gantt perf =
+  let run arch jobs max_jobs osub trace_json trace_csv gantt perf profile
+      profile_folded =
     let wls_of () = Occamy_workloads.Motivating.pair () in
     if perf then run_perf ~name:"motivating" arch wls_of
     else
       run_archs
         ~jobs:(resolve_jobs ?cap:max_jobs jobs)
         ?oversubscribe:(resolve_oversubscribe osub) ~trace_json ~trace_csv
-        ~gantt arch wls_of
+        ~gantt ~profile ~profile_folded arch wls_of
   in
   Cmd.v
     (Cmd.info "motivating" ~doc:"Run the Figure 2 motivating example")
     Term.(
       const run $ arch_arg $ jobs_arg $ max_jobs_arg $ oversubscribe_arg
-      $ trace_arg $ trace_csv_arg $ gantt_arg $ perf_arg)
+      $ trace_arg $ trace_csv_arg $ gantt_arg $ perf_arg $ profile_arg
+      $ profile_folded_arg)
 
 (* ---------------- list --------------------------------------------- *)
 

@@ -14,6 +14,10 @@ type t = {
   slots : int array;          (* µops accepted in the current cycle *)
   uops : int array;           (* cumulative µops per unit *)
   mutable current_cycle : int;
+  (* work counters for the self-profiler's dispatch stage: slot probes
+     vs successful issues, i.e. how much of the issue scan is wasted *)
+  mutable issue_checks : int;
+  mutable issues : int;
 }
 
 let create ~units ~pipes_per_unit =
@@ -24,6 +28,8 @@ let create ~units ~pipes_per_unit =
     slots = Array.make units 0;
     uops = Array.make units 0;
     current_cycle = -1;
+    issue_checks = 0;
+    issues = 0;
   }
 
 let units t = t.units
@@ -37,6 +43,7 @@ let begin_cycle t ~cycle =
 
 (** Can [unit_ids] each accept one more µop this cycle? *)
 let can_issue t ~unit_ids =
+  t.issue_checks <- t.issue_checks + 1;
   List.for_all
     (fun u ->
       if u < 0 || u >= t.units then invalid_arg "Exebu.can_issue";
@@ -46,6 +53,7 @@ let can_issue t ~unit_ids =
 (** Book one µop on each of [unit_ids] for the current cycle. *)
 let issue t ~unit_ids =
   if not (can_issue t ~unit_ids) then invalid_arg "Exebu.issue: no slot free";
+  t.issues <- t.issues + 1;
   List.iter
     (fun u ->
       t.slots.(u) <- t.slots.(u) + 1;
@@ -54,3 +62,5 @@ let issue t ~unit_ids =
 
 let uops_executed t = Array.fold_left ( + ) 0 t.uops
 let uops_of_unit t u = t.uops.(u)
+let issue_checks t = t.issue_checks
+let issues t = t.issues

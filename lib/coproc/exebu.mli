@@ -16,3 +16,12 @@ val can_issue : t -> unit_ids:int list -> bool
 val issue : t -> unit_ids:int list -> unit
 val uops_executed : t -> int
 val uops_of_unit : t -> int -> int
+
+val issue_checks : t -> int
+(** Slot probes ({!can_issue} calls, including the one inside each
+    {!issue}) — the work count behind the self-profiler's [dispatch]
+    stage: compared with {!issues} it shows how much of the issue scan
+    probes without issuing. *)
+
+val issues : t -> int
+(** Successful {!issue} calls (instructions, not µops). *)

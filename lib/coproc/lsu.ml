@@ -17,6 +17,11 @@ type t = {
   mutable total_issued : int;
   mutable peak_loads : int;
   mutable peak_stores : int;
+  (* work counters for the self-profiler's Lsu_retire stage: how many
+     retire scans ran and how many completions they found, so stage
+     time can be read as ns per scan / per retired op *)
+  mutable retire_calls : int;
+  mutable retired : int;
 }
 
 let create ?(load_capacity = 48) ?(store_capacity = 24) () =
@@ -28,6 +33,8 @@ let create ?(load_capacity = 48) ?(store_capacity = 24) () =
     total_issued = 0;
     peak_loads = 0;
     peak_stores = 0;
+    retire_calls = 0;
+    retired = 0;
   }
 
 let can_accept t ~is_store =
@@ -51,6 +58,7 @@ let add t ~done_at ~is_store ~mob_id =
     nothing-completed case is the common one on stall-heavy cycles, so it
     is detected first without allocating. *)
 let retire t ~now =
+  t.retire_calls <- t.retire_calls + 1;
   let completed e = e.done_at <= now in
   if not (List.exists completed t.loads || List.exists completed t.stores)
   then []
@@ -60,6 +68,7 @@ let retire t ~now =
     let done_s, stores = split t.stores in
     t.loads <- loads;
     t.stores <- stores;
+    t.retired <- t.retired + List.length done_l + List.length done_s;
     List.filter_map (fun e -> e.mob_id) (done_l @ done_s)
   end
 
@@ -82,3 +91,5 @@ let peak_loads t = t.peak_loads
 
 let peak_stores t = t.peak_stores
 let is_drained t = t.loads = [] && t.stores = []
+let retire_calls t = t.retire_calls
+let retired t = t.retired

@@ -43,6 +43,7 @@ module Rng = Occamy_util.Rng
 module Buckets = Occamy_util.Stats.Buckets
 module Trace = Occamy_obs.Trace
 module Event = Occamy_obs.Event
+module Prof = Occamy_obs.Prof
 
 (* ------------------------------------------------------------------ *)
 (* In-flight instruction representation                                *)
@@ -177,6 +178,7 @@ type t = {
   bucket_width : int;
   (* -------- observability (never feeds back into timing) ----------- *)
   trace : Trace.t;
+  prof : Prof.t;  (* self-profiling stage scopes; Prof.disabled by default *)
   obs_prev_stalls : int array;  (* rename_stalls at the last episode scan *)
   obs_stall_start : int array;  (* open stall episode start, -1 if none *)
   obs_req_cycle : int array;    (* cycle of the pending MSR <VL>, -1 *)
@@ -248,8 +250,9 @@ let make_core cfg arch ~shared_freelist id wl =
     vl_buckets = Buckets.create ~width:1000;
   }
 
-let create ?(cfg = Config.default) ?(trace = Trace.disabled) ?decisions
-    ?(context_switches = []) ~arch workloads =
+let create ?(cfg = Config.default) ?(trace = Trace.disabled)
+    ?(prof = Prof.disabled) ?decisions ?(context_switches = []) ~arch
+    workloads =
   let cfg = Config.validate cfg in
   if Trace.enabled trace && Trace.num_tracks trace < cfg.cores + 1 then
     invalid_arg
@@ -374,6 +377,7 @@ let create ?(cfg = Config.default) ?(trace = Trace.disabled) ?decisions
     mem_budget = Array.make domains 0;
     bucket_width = 1000;
     trace;
+    prof;
     obs_prev_stalls = Array.make cfg.cores 0;
     obs_stall_start = Array.make cfg.cores (-1);
     obs_req_cycle = Array.make cfg.cores (-1);
@@ -726,7 +730,14 @@ let step_frontend t c =
           | Sysreg.AL -> c.xregs.(d) <- read_al t
           | Sysreg.OI -> c.xregs.(d) <- 0);
           decr budget
-        | Instr.Msr_oi oi -> handle_oi_write t c oi; decr budget
+        | Instr.Msr_oi oi ->
+          if Prof.sampled t.prof then begin
+            Prof.enter t.prof Prof.Replan;
+            handle_oi_write t c oi;
+            Prof.exit t.prof
+          end
+          else handle_oi_write t c oi;
+          decr budget
         | Instr.Msr (Sysreg.VL, src) ->
           let l = eval_src c src in
           if l < 0 || l > t.cfg.exebus then error "core%d: MSR <VL> %d" c.id l;
@@ -883,6 +894,7 @@ let entry_ready now e =
   List.for_all (fun p -> p.issued && p.done_at <= now) e.srcs
 
 let record_compute_issue t c width =
+  if Prof.sampled t.prof then Prof.enter t.prof Prof.Exe_apply;
   t.work_cycle <- t.cycle;
   c.issued_compute <- c.issued_compute + 1;
   (match c.cur_phase with
@@ -896,14 +908,17 @@ let record_compute_issue t c width =
     /. float_of_int t.cfg.pipes_per_exebu
   in
   t.busy_lane_cycles <- t.busy_lane_cycles +. lanes;
-  Buckets.add c.lanes_buckets ~cycle:t.cycle lanes
+  Buckets.add c.lanes_buckets ~cycle:t.cycle lanes;
+  if Prof.sampled t.prof then Prof.exit t.prof
 
 let record_mem_issue t c =
+  if Prof.sampled t.prof then Prof.enter t.prof Prof.Exe_apply;
   t.work_cycle <- t.cycle;
   c.issued_mem <- c.issued_mem + 1;
-  match c.cur_phase with
+  (match c.cur_phase with
   | Some pa -> pa.pa_mem <- pa.pa_mem + 1
-  | None -> ()
+  | None -> ());
+  if Prof.sampled t.prof then Prof.exit t.prof
 
 exception Ports_exhausted
 
@@ -1077,12 +1092,14 @@ let step_context_switch t c =
       Rtbl.set_oi t.rtbl ~core:c.id Oi.zero;
       (match t.lane_mgr with
       | Some mgr ->
+        if Prof.sampled t.prof then Prof.enter t.prof Prof.Replan;
         Lane_mgr.exit_phase mgr ~core:c.id;
         Array.iteri
           (fun core d -> Rtbl.set_decision t.rtbl ~core d)
           (Lane_mgr.decisions mgr);
         t.replans <- t.replans + 1;
-        if tracing t then trace_replan t ~trigger:c.id ~cause:Event.Preempt mgr
+        if tracing t then trace_replan t ~trigger:c.id ~cause:Event.Preempt mgr;
+        if Prof.sampled t.prof then Prof.exit t.prof
       | None -> ());
       c.cs_state <-
         Cs_away { resume_at = t.cycle + t.cfg.cs_away_cycles; saved_vl; saved_oi }
@@ -1093,12 +1110,14 @@ let step_context_switch t c =
       Rtbl.set_oi t.rtbl ~core:c.id saved_oi;
       (match t.lane_mgr with
       | Some mgr when not (Oi.is_zero saved_oi) ->
+        if Prof.sampled t.prof then Prof.enter t.prof Prof.Replan;
         Lane_mgr.enter_phase mgr ~core:c.id ~oi:saved_oi ~level:c.cur_level;
         Array.iteri
           (fun core d -> Rtbl.set_decision t.rtbl ~core d)
           (Lane_mgr.decisions mgr);
         t.replans <- t.replans + 1;
-        if tracing t then trace_replan t ~trigger:c.id ~cause:Event.Resume mgr
+        if tracing t then trace_replan t ~trigger:c.id ~cause:Event.Resume mgr;
+        if Prof.sampled t.prof then Prof.exit t.prof
       | _ -> ());
       if saved_vl = 0 then c.cs_state <- Cs_running
       else c.cs_state <- Cs_restoring { saved_vl }
@@ -1127,21 +1146,38 @@ let step_context_switch t c =
 
 let step t =
   t.cycle <- t.cycle + 1;
+  Prof.begin_cycle t.prof;
+  let pr = Prof.sampled t.prof in
   Exebu.begin_cycle t.exebus ~cycle:t.cycle;
   Array.fill t.compute_budget 0 (Array.length t.compute_budget)
     t.cfg.compute_ports;
   Array.fill t.mem_budget 0 (Array.length t.mem_budget) t.cfg.mem_ports;
+  if pr then Prof.enter t.prof Prof.Lsu_retire;
   Array.iter (fun c -> retire t c) t.cores;
+  if pr then Prof.exit t.prof;
   (* Round-robin both the issue and rename order so that shared resources
      (FTS ports, the shared freelist) are arbitrated fairly. *)
   let n = Array.length t.cores in
+  if pr then Prof.enter t.prof Prof.Dispatch;
   for k = 0 to n - 1 do
     issue_core t t.cores.((k + t.cycle) mod n)
   done;
+  if pr then begin
+    Prof.exit t.prof;
+    Prof.enter t.prof Prof.Rename
+  end;
   for k = 0 to n - 1 do
     rename t t.cores.((k + t.cycle) mod n)
   done;
+  if pr then begin
+    Prof.exit t.prof;
+    Prof.enter t.prof Prof.Frontend
+  end;
   Array.iter (fun c -> step_frontend t c) t.cores;
+  if pr then begin
+    Prof.exit t.prof;
+    Prof.enter t.prof Prof.Ctx_switch
+  end;
   Array.iter (fun c -> step_context_switch t c) t.cores;
   (* Resolve pending vector-length requests once the pipelines drain
      (§4.2.2 condition (2)). *)
@@ -1151,9 +1187,11 @@ let step t =
       | Some l when pipeline_drained c -> resolve_vl_request t c l
       | _ -> ())
     t.cores;
+  if pr then Prof.exit t.prof;
   (* Rename-stall episode detection (observability only): a fresh stall
      this cycle opens an episode, the first stall-free cycle closes it. *)
-  if tracing t then
+  if tracing t then begin
+    if pr then Prof.enter t.prof Prof.Trace_overhead;
     Array.iter
       (fun c ->
         let stalls = c.rename_stalls in
@@ -1164,8 +1202,12 @@ let step t =
         else trace_end_stall_episode t c ~upto:t.cycle;
         t.obs_prev_stalls.(c.id) <- stalls)
       t.cores;
+    if pr then Prof.exit t.prof
+  end;
+  if pr then Prof.enter t.prof Prof.Sample;
   sample_stats t;
-  if t.cycle land 1023 = 0 then check_invariants t
+  if t.cycle land 1023 = 0 then check_invariants t;
+  if pr then Prof.exit t.prof
 
 (* ------------------------------------------------------------------ *)
 (* Event-horizon fast-forwarding                                       *)
@@ -1423,11 +1465,21 @@ let run t =
   if t.cfg.fast_forward then
     while (not (all_done t)) && t.cycle < t.cfg.max_cycles do
       step t;
-      try_fast_forward t
+      (* The horizon scan runs between steps; [Prof.sampled] keeps this
+         cycle's sampling decision until the next [begin_cycle], so the
+         scan is attributed to the same profiled cycle. *)
+      if Prof.sampled t.prof then begin
+        Prof.enter t.prof Prof.Ff_scan;
+        try_fast_forward t;
+        Prof.exit t.prof
+      end
+      else try_fast_forward t;
+      Prof.end_cycle t.prof
     done
   else
     while (not (all_done t)) && t.cycle < t.cfg.max_cycles do
-      step t
+      step t;
+      Prof.end_cycle t.prof
     done;
   if not (all_done t) then
     error "simulation exceeded %d cycles (deadlock or runaway loop?)"
@@ -1473,11 +1525,21 @@ let run t =
     compile each pair once and share it across the four architecture
     simulations (see the "workload reuse" and "parallel determinism"
     tests). *)
-let simulate ?cfg ?trace ?decisions ?context_switches ~arch workloads =
-  let t = create ?cfg ?trace ?decisions ?context_switches ~arch workloads in
+let simulate ?cfg ?trace ?prof ?decisions ?context_switches ~arch workloads =
+  let t = create ?cfg ?trace ?prof ?decisions ?context_switches ~arch workloads in
   run t
 
 let cycle t = t.cycle
 let config t = t.cfg
 let skipped_cycles t = t.ff_skipped
 let ff_jumps t = t.ff_jumps
+let prof t = t.prof
+
+let stage_work t =
+  let sum f = Array.fold_left (fun acc c -> acc + f c) 0 t.cores in
+  [
+    ("lsu.retire_calls", float_of_int (sum (fun c -> Lsu.retire_calls c.lsu)));
+    ("lsu.retired", float_of_int (sum (fun c -> Lsu.retired c.lsu)));
+    ("exebu.issue_checks", float_of_int (Exebu.issue_checks t.exebus));
+    ("exebu.issues", float_of_int (Exebu.issues t.exebus));
+  ]

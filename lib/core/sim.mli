@@ -23,8 +23,9 @@ exception Simulation_error of string
     [Config.max_cycles]). *)
 
 val create :
-  ?cfg:Config.t -> ?trace:Occamy_obs.Trace.t -> ?decisions:int array ->
-  ?context_switches:(int * int) list -> arch:Arch.t -> Workload.t list -> t
+  ?cfg:Config.t -> ?trace:Occamy_obs.Trace.t -> ?prof:Occamy_obs.Prof.t ->
+  ?decisions:int array -> ?context_switches:(int * int) list ->
+  arch:Arch.t -> Workload.t list -> t
 (** One workload per configured core. [decisions] forces a static
     partition (lane sweeps, Figure 14(a)); it is rejected on the elastic
     machine. [context_switches] schedules [(core, cycle)] OS preemptions:
@@ -42,15 +43,24 @@ val create :
     {!Occamy_obs.Trace.for_sim}). Tracing only *reads* simulator state:
     results are bit-identical with tracing on or off, and when disabled
     the cost is one branch per site with no allocation (guaranteed by
-    the non-perturbation tests). *)
+    the non-perturbation tests).
+
+    [prof] (default {!Occamy_obs.Prof.disabled}) attributes the
+    simulator's own wall-time to its pipeline stages via sampled
+    monotonic-clock scopes in [step] and the fast-forward scan (see
+    {!Occamy_obs.Prof}). Like tracing it only reads simulator state —
+    results are bit-identical with profiling on or off, and a disabled
+    profiler costs one branch per site. Profiled stage totals are only
+    complete when the simulation runs through {!run}/{!simulate} (the
+    per-cycle residual is closed there, not in {!step}). *)
 
 val run : t -> Metrics.t
 (** Run to completion of every workload. *)
 
 val simulate :
-  ?cfg:Config.t -> ?trace:Occamy_obs.Trace.t -> ?decisions:int array ->
-  ?context_switches:(int * int) list -> arch:Arch.t -> Workload.t list ->
-  Metrics.t
+  ?cfg:Config.t -> ?trace:Occamy_obs.Trace.t -> ?prof:Occamy_obs.Prof.t ->
+  ?decisions:int array -> ?context_switches:(int * int) list ->
+  arch:Arch.t -> Workload.t list -> Metrics.t
 (** [create] + [run]. *)
 
 val step : t -> unit
@@ -69,3 +79,12 @@ val skipped_cycles : t -> int
 val ff_jumps : t -> int
 (** Number of fast-forward jumps taken ([skipped_cycles] spread over
     this many horizon events). *)
+
+val prof : t -> Occamy_obs.Prof.t
+(** The profiler passed at [create] ({!Occamy_obs.Prof.disabled} when
+    none); read its stats after {!run}. *)
+
+val stage_work : t -> (string * float) list
+(** Work counters correlated with the profiler's stages, summed over
+    cores: LSU retire scans and completions, ExeBU issue probes and
+    issues — so stage time can be read as ns per unit of work. *)

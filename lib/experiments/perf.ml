@@ -155,8 +155,18 @@ let json_entries scenarios =
           /. Float.max (grand_ff_seconds scenarios) 1e-9) );
     ]
 
+(* One JSONL line per `bench perf` run, appended so the file accumulates
+   a throughput trajectory `bench compare` can gate on. [seconds] is the
+   grand fast-forward total — the number the perf-smoke gate watches. *)
 let write_json ~path scenarios =
-  Json.write_file ~path (Json.obj_to_string (json_entries scenarios))
+  Occamy_util.Bench_log.append_line ~path
+    ([
+       ("section", Json.Str "perf");
+       ("seconds", Json.Num (grand_ff_seconds scenarios));
+       ("jobs", Json.Num 1.0);
+       ("unix_time", Json.Num (Float.round (Unix.time ())));
+     ]
+    @ json_entries scenarios)
 
 let pp_sample ppf s =
   Fmt.pf ppf

@@ -1,0 +1,154 @@
+(* Self-profiled simulator runs; see the mli. *)
+
+module Sim = Occamy_core.Sim
+module Arch = Occamy_core.Arch
+module Config = Occamy_core.Config
+module Metrics = Occamy_core.Metrics
+module Prof = Occamy_obs.Prof
+module Table = Occamy_util.Table
+module Json = Occamy_util.Json
+module Bench_log = Occamy_util.Bench_log
+
+type report = {
+  rp_arch : Arch.t;
+  rp_prof : Prof.t;
+  rp_metrics : Metrics.t;
+  rp_seconds : float;
+  rp_work : (string * float) list;
+}
+
+let profile ?cfg ?context_switches ?sample_every ~arch wls =
+  let prof = Prof.create ?sample_every () in
+  let t = Sim.create ?cfg ?context_switches ~prof ~arch wls in
+  let t0 = Unix.gettimeofday () in
+  let m = Sim.run t in
+  let seconds = Unix.gettimeofday () -. t0 in
+  {
+    rp_arch = arch;
+    rp_prof = prof;
+    rp_metrics = m;
+    rp_seconds = seconds;
+    rp_work = Sim.stage_work t;
+  }
+
+let profile_pair ?sample_every ~arch () =
+  profile ?sample_every ~arch (Occamy_workloads.Motivating.pair ())
+
+let summary_table r =
+  Prof.summary_table
+    ~title:
+      (Printf.sprintf
+         "%s self-profile: %.2fs wall, %d cycles (%d sampled, 1/%d)"
+         (Arch.name r.rp_arch) r.rp_seconds
+         (Prof.cycles r.rp_prof)
+         (Prof.sampled_cycles r.rp_prof)
+         (Prof.sample_every r.rp_prof))
+    r.rp_prof
+
+(* Join a stage's sampled time with its work counter: the counters
+   cover the whole run while the time covers sampled cycles only, so
+   scale the count by the sampling fraction before dividing. *)
+let work_table r =
+  let tbl =
+    Table.create
+      ~title:(Printf.sprintf "%s stage work rates" (Arch.name r.rp_arch))
+      ~header:[ "counter"; "count"; "stage"; "~ns/op (sampled)" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Left; Table.Right ] ()
+  in
+  let cycles = max 1 (Prof.cycles r.rp_prof) in
+  let sampled = Prof.sampled_cycles r.rp_prof in
+  let fraction = float_of_int sampled /. float_of_int cycles in
+  let stage_ns stage =
+    match
+      List.find_opt
+        (fun st -> st.Prof.ss_stage = stage)
+        (Prof.stats r.rp_prof)
+    with
+    | Some st -> st.Prof.ss_ns
+    | None -> 0
+  in
+  let row counter stage =
+    match List.assoc_opt counter r.rp_work with
+    | None -> ()
+    | Some count ->
+      let sampled_count = count *. fraction in
+      let per_op =
+        if sampled_count <= 0.0 then "-"
+        else Printf.sprintf "%.0f" (float_of_int (stage_ns stage) /. sampled_count)
+      in
+      Table.add_row tbl
+        [ counter; Printf.sprintf "%.0f" count; Prof.stage_name stage; per_op ]
+  in
+  row "lsu.retire_calls" Prof.Lsu_retire;
+  row "lsu.retired" Prof.Lsu_retire;
+  row "exebu.issue_checks" Prof.Dispatch;
+  row "exebu.issues" Prof.Dispatch;
+  tbl
+
+let top3_line r =
+  match Prof.top_stages r.rp_prof ~n:3 with
+  | [] -> "top stages: (nothing sampled)"
+  | tops ->
+    "top stages: "
+    ^ String.concat ", "
+        (List.map
+           (fun (s, share) ->
+             Printf.sprintf "%s %.1f%%" (Prof.stage_name s) share)
+           tops)
+
+(* The section key carries scenario and architecture so `bench compare`
+   (which groups trajectories by section) never mixes, say, the Occamy
+   pair run with the FTS one. *)
+let record ?(path = Bench_log.profile_path) ~scenario r =
+  Bench_log.append_line ~path
+    ([
+       ( "section",
+         Json.Str
+           (Printf.sprintf "profile.%s.%s" scenario (Arch.name r.rp_arch)) );
+       ("scenario", Json.Str scenario);
+       ("arch", Json.Str (Arch.name r.rp_arch));
+       ("seconds", Json.Num r.rp_seconds);
+       ("jobs", Json.Num 1.0);
+       ("unix_time", Json.Num (Float.round (Unix.time ())));
+     ]
+    @ Prof.json_fields r.rp_prof
+    @ List.map (fun (k, v) -> ("work." ^ k, Json.Num v)) r.rp_work)
+
+let folded_to_file ~path r =
+  Json.write_file ~path (Prof.folded r.rp_prof)
+
+type overhead = {
+  ov_plain_seconds : float;
+  ov_enabled_seconds : float;
+  ov_enabled_ratio : float;
+}
+
+let measure_overhead ?cfg ?sample_every ?(repeat = 3) ~arch wls =
+  if repeat < 1 then invalid_arg "Prof_run.measure_overhead: repeat >= 1";
+  let best mk_prof =
+    let once () =
+      let t = Sim.create ?cfg ?prof:(mk_prof ()) ~arch wls in
+      let t0 = Unix.gettimeofday () in
+      let m = Sim.run t in
+      (m, Unix.gettimeofday () -. t0)
+    in
+    let m0, s0 = once () in
+    let s = ref s0 in
+    for _ = 2 to repeat do
+      let _, si = once () in
+      if si < !s then s := si
+    done;
+    (m0, !s)
+  in
+  let m_plain, plain = best (fun () -> None) in
+  let m_prof, enabled =
+    best (fun () -> Some (Prof.create ?sample_every ()))
+  in
+  if m_plain <> m_prof then
+    failwith
+      "Prof_run.measure_overhead: profiled run diverged from the plain one";
+  {
+    ov_plain_seconds = plain;
+    ov_enabled_seconds = enabled;
+    ov_enabled_ratio = enabled /. Float.max plain 1e-9;
+  }

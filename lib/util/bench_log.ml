@@ -1,0 +1,293 @@
+(* Bench trajectory JSONL: append + parse + compare. See the mli for
+   the format contract. *)
+
+let schema_version = 1
+let sections_path = "BENCH_sections.json"
+let perf_path = "BENCH_perf.json"
+let profile_path = "BENCH_profile.json"
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let append_line ~path fields =
+  let fields =
+    if List.mem_assoc "schema" fields then fields
+    else ("schema", Json.Num (float_of_int schema_version)) :: fields
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.obj_to_line fields);
+      output_char oc '\n')
+
+let record_section ?(path = sections_path) ?totals ?(extra = []) ~section
+    ~seconds ~jobs () =
+  let t = match totals with Some t -> t | None -> Domain_pool.totals () in
+  (* A section that never touched the pool still ran on one (serial)
+     worker; represent it as such instead of workers:0 with empty
+     per-worker vectors. *)
+  let per_worker =
+    if Array.length t.Domain_pool.t_per_worker > 0 then
+      t.Domain_pool.t_per_worker
+    else
+      [|
+        {
+          Work_steal.ws_tasks = 0;
+          ws_steals = 0;
+          ws_steal_attempts = 0;
+          ws_minor_collections = 0;
+          ws_major_collections = 0;
+          ws_minor_words = 0.0;
+          ws_promoted_words = 0.0;
+        };
+      |]
+  in
+  let vec f =
+    Json.Arr
+      (Array.to_list
+         (Array.map (fun w -> Json.Num (float_of_int (f w))) per_worker))
+  in
+  let num x = Json.Num x in
+  let inum i = Json.Num (float_of_int i) in
+  append_line ~path
+    ([
+       ("section", Json.Str section);
+       (* Clamp away exact zeros from clock granularity; round-trip
+          printing keeps sub-millisecond durations nonzero. *)
+       ("seconds", num (Float.max seconds 1e-9));
+       ("jobs", inum jobs);
+       ("workers", inum (max 1 t.Domain_pool.t_max_workers));
+       ("maps", inum t.Domain_pool.t_maps);
+       ("tasks", inum t.Domain_pool.t_tasks);
+       ("steals", inum t.Domain_pool.t_steals);
+       ("steal_attempts", inum t.Domain_pool.t_steal_attempts);
+       ("minor_collections", inum t.Domain_pool.t_minor_collections);
+       ("major_collections", inum t.Domain_pool.t_major_collections);
+       ("promoted_words", num t.Domain_pool.t_promoted_words);
+       ("worker_tasks", vec (fun w -> w.Work_steal.ws_tasks));
+       ("worker_steals", vec (fun w -> w.Work_steal.ws_steals));
+       ( "worker_minor_collections",
+         vec (fun w -> w.Work_steal.ws_minor_collections) );
+       ("unix_time", num (Float.round (Unix.time ())));
+     ]
+    @ extra)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  e_schema : int;
+  e_section : string;
+  e_seconds : float;
+  e_jobs : int;
+  e_fields : (string * Json.value) list;
+}
+
+let num e key =
+  match List.assoc_opt key e.e_fields with
+  | Some (Json.Num x) -> Some x
+  | _ -> None
+
+let entry_int e key ~default =
+  match num e key with Some x -> int_of_float x | None -> default
+
+let parse_line line =
+  if String.trim line = "" then Ok None
+  else
+    match Json.parse_flat_obj line with
+    | Error msg -> Error msg
+    | Ok fields -> (
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Json.Str s) -> Some s
+        | _ -> None
+      in
+      let numf k =
+        match List.assoc_opt k fields with
+        | Some (Json.Num x) -> Some x
+        | _ -> None
+      in
+      match (str "section", numf "seconds") with
+      | Some section, Some seconds ->
+        Ok
+          (Some
+             {
+               e_schema =
+                 (match numf "schema" with
+                 | Some x -> int_of_float x
+                 | None -> 0);
+               e_section = section;
+               e_seconds = seconds;
+               e_jobs =
+                 (match numf "jobs" with
+                 | Some x -> int_of_float x
+                 | None -> 0);
+               e_fields = fields;
+             })
+      | None, _ -> Error "missing \"section\" field"
+      | _, None -> Error "missing numeric \"seconds\" field")
+
+let load ~path =
+  if not (Sys.file_exists path) then ([], [ path ^ ": no such file" ])
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let entries = ref [] in
+        let warnings = ref [] in
+        let lineno = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr lineno;
+             match parse_line line with
+             | Ok None -> ()
+             | Ok (Some e) -> entries := e :: !entries
+             | Error msg ->
+               warnings :=
+                 Printf.sprintf "%s:%d: skipped unparseable line (%s)" path
+                   !lineno msg
+                 :: !warnings
+           done
+         with End_of_file -> ());
+        (List.rev !entries, List.rev !warnings))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Comparing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type comparison = {
+  c_section : string;
+  c_jobs : int;
+  c_latest : float;
+  c_baseline : float;
+  c_ratio : float;
+  c_samples : int;
+  c_gc_delta : int;
+  c_steal_delta : int;
+  c_regressed : bool;
+}
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+    let n = List.length sorted in
+    let a = Array.of_list sorted in
+    if n mod 2 = 1 then a.(n / 2) else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+
+(* Group key: the committed history mixes -j1 and -j4 runs of the same
+   section; comparing across job counts would gate on scheduler choice,
+   not code. *)
+let group_key e = (e.e_section, e.e_jobs)
+
+let groups_of entries =
+  (* Stable: first-appearance order of groups, file order within. *)
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let k = group_key e in
+      if not (Hashtbl.mem tbl k) then begin
+        order := k :: !order;
+        Hashtbl.add tbl k (ref [])
+      end;
+      let r = Hashtbl.find tbl k in
+      r := e :: !r)
+    entries;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+  |> List.rev
+
+let last xs = List.nth xs (List.length xs - 1)
+
+let take_last n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let compare_entries ?(threshold = 0.10) ?(window = 5) ?(min_seconds = 0.05)
+    ?baseline entries =
+  if threshold <= 0.0 then
+    invalid_arg "Bench_log.compare_entries: threshold must be positive";
+  let baseline_groups = Option.map groups_of baseline in
+  List.filter_map
+    (fun ((section, jobs), group) ->
+      let latest = last group in
+      let base_window =
+        match baseline_groups with
+        | Some bg ->
+          (* Named baseline: the whole matching group. *)
+          (match List.assoc_opt (section, jobs) bg with
+          | Some b -> b
+          | None -> [])
+        | None ->
+          (* Trailing window of this file's own history, newest runs
+             first dropped: everything but the latest entry. *)
+          take_last window (List.filteri (fun i _ -> i < List.length group - 1) group)
+      in
+      if base_window = [] then None
+      else begin
+        let base_med field fallback =
+          let xs = List.filter_map field base_window in
+          if xs = [] then fallback else median xs
+        in
+        let baseline_s = base_med (fun e -> Some e.e_seconds) nan in
+        let gc e = num e "minor_collections" in
+        let steals e = num e "steals" in
+        let delta field =
+          match field latest with
+          | None -> 0
+          | Some l ->
+            let b = base_med field l in
+            int_of_float (l -. b)
+        in
+        let ratio = latest.e_seconds /. Float.max baseline_s 1e-9 in
+        Some
+          {
+            c_section = section;
+            c_jobs = jobs;
+            c_latest = latest.e_seconds;
+            c_baseline = baseline_s;
+            c_ratio = ratio;
+            c_samples = List.length base_window;
+            c_gc_delta = delta gc;
+            c_steal_delta = delta steals;
+            c_regressed =
+              baseline_s >= min_seconds && ratio > 1.0 +. threshold;
+          }
+      end)
+    (groups_of entries)
+
+let regressions cs = List.filter (fun c -> c.c_regressed) cs
+
+let comparison_table ?(title = "Bench trajectory: latest vs baseline") cs =
+  let tbl =
+    Table.create ~title
+      ~header:
+        [ "section"; "jobs"; "latest"; "baseline"; "ratio"; "over"; "gc d";
+          "steal d"; "verdict" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right; Table.Left ]
+      ()
+  in
+  List.iter
+    (fun c ->
+      Table.add_row tbl
+        [
+          c.c_section;
+          string_of_int c.c_jobs;
+          Printf.sprintf "%.3fs" c.c_latest;
+          Printf.sprintf "%.3fs" c.c_baseline;
+          Printf.sprintf "%.2fx" c.c_ratio;
+          string_of_int c.c_samples;
+          string_of_int c.c_gc_delta;
+          string_of_int c.c_steal_delta;
+          (if c.c_regressed then "REGRESSED" else "ok");
+        ])
+    cs;
+  tbl

@@ -1,0 +1,114 @@
+(** The bench trajectory files: writing and reading the [BENCH_*.json]
+    JSONL artifacts ([BENCH_sections.json], [BENCH_perf.json],
+    [BENCH_profile.json]) and comparing the latest run against a
+    baseline.
+
+    Each line is a flat JSON object (scalars plus per-worker vectors,
+    see {!Json}) appended by a bench run, so the file accumulates a
+    machine-local performance history. Lines written by this module
+    carry a [schema] version field; unversioned lines from older
+    checkouts still parse ({!load} treats them as schema 0), and lines
+    that do not parse at all are skipped with a warning instead of
+    poisoning the history. *)
+
+val schema_version : int
+(** Version stamped into every line this module writes (currently 1). *)
+
+val sections_path : string
+(** ["BENCH_sections.json"] — per-section wall-times + pool/GC stats. *)
+
+val perf_path : string
+(** ["BENCH_perf.json"] — naive-vs-fast-forward throughput runs. *)
+
+val profile_path : string
+(** ["BENCH_profile.json"] — per-stage profile shares. *)
+
+(** {2 Writing} *)
+
+val append_line : path:string -> (string * Json.value) list -> unit
+(** Append one JSONL line, prepending [("schema", schema_version)]
+    unless the fields already carry a [schema] key. *)
+
+val record_section :
+  ?path:string ->
+  ?totals:Domain_pool.totals ->
+  ?extra:(string * Json.value) list ->
+  section:string ->
+  seconds:float ->
+  jobs:int ->
+  unit ->
+  unit
+(** Append a section line to [path] (default {!sections_path}) carrying
+    the wall-time and the scheduler diagnostics from [totals] (default:
+    {!Domain_pool.totals}[ ()], i.e. whatever accumulated since the last
+    [reset_totals]) — effective workers, steal counts, per-worker GC
+    deltas — so a regression in the history is attributable without
+    re-running under a profiler.
+
+    Two measurement artifacts are normalised away: [seconds] is written
+    with round-trip float precision and clamped to a small positive
+    minimum, so a sub-millisecond section can never record [0.000]; and
+    a section that never touched the pool (no parallel map ran) still
+    reports one worker with zeroed per-worker vectors rather than
+    [workers:0] with empty vectors. *)
+
+(** {2 Reading} *)
+
+type entry = {
+  e_schema : int;  (** 0 for legacy unversioned lines *)
+  e_section : string;
+  e_seconds : float;
+  e_jobs : int;  (** 0 when the line carries no [jobs] field *)
+  e_fields : (string * Json.value) list;  (** the full parsed line *)
+}
+
+val num : entry -> string -> float option
+val entry_int : entry -> string -> default:int -> int
+
+val parse_line : string -> (entry option, string) result
+(** [Ok None] for a blank line, [Ok (Some e)] for a trajectory line
+    (legacy unversioned ones included), [Error msg] for a line that is
+    not a flat JSON object or lacks [section]/[seconds]. *)
+
+val load : path:string -> entry list * string list
+(** All parseable entries of a JSONL file in file order, plus one
+    warning per skipped line ([file:lineno: reason]). A missing file
+    yields [([], [warning])]. *)
+
+(** {2 Comparing} *)
+
+type comparison = {
+  c_section : string;
+  c_jobs : int;
+  c_latest : float;  (** seconds of the newest entry in the group *)
+  c_baseline : float;  (** median seconds of the baseline window *)
+  c_ratio : float;  (** latest / baseline *)
+  c_samples : int;  (** entries the baseline median was taken over *)
+  c_gc_delta : int;  (** minor collections, latest - baseline median *)
+  c_steal_delta : int;  (** steals, latest - baseline median *)
+  c_regressed : bool;
+}
+
+val compare_entries :
+  ?threshold:float ->
+  ?window:int ->
+  ?min_seconds:float ->
+  ?baseline:entry list ->
+  entry list ->
+  comparison list
+(** Group entries by [(section, jobs)] — the committed history mixes
+    [-j 1] and [-j 4] runs of the same section, which must not be
+    compared against each other — and compare each group's newest entry
+    against a baseline: the median of the same group in [baseline] when
+    given, otherwise the trailing median of up to [window] (default 5)
+    preceding entries of the same file. Groups with no usable baseline
+    are skipped. A group regresses when its baseline is at least
+    [min_seconds] (default 0.05 — sub-millisecond table prints are
+    clock noise) and the latest run is more than [threshold] (default
+    0.10, i.e. 10%) slower. *)
+
+val regressions : comparison list -> comparison list
+
+val comparison_table : ?title:string -> comparison list -> Table.t
+(** Per-group table: latest vs baseline seconds, ratio, GC and steal
+    deltas, verdict. *)

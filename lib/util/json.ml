@@ -3,7 +3,12 @@
     counterexample reports. Handles exactly the fragment those need — a
     flat object of scalars — with round-trip-exact number printing. *)
 
-type value = Null | Bool of bool | Num of float | Str of string
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
 
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -26,11 +31,12 @@ let num_to_string x =
     Printf.sprintf "%.0f" x
   else Printf.sprintf "%.17g" x
 
-let value_to_string = function
+let rec value_to_string = function
   | Null -> "null"
   | Bool b -> if b then "true" else "false"
   | Num x -> num_to_string x
   | Str s -> "\"" ^ escape s ^ "\""
+  | Arr vs -> "[" ^ String.concat "," (List.map value_to_string vs) ^ "]"
 
 let obj_to_string pairs =
   let body =
@@ -40,6 +46,14 @@ let obj_to_string pairs =
       pairs
   in
   "{\n" ^ String.concat ",\n" body ^ "\n}\n"
+
+let obj_to_line pairs =
+  let body =
+    List.map
+      (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (value_to_string v))
+      pairs
+  in
+  "{" ^ String.concat "," body ^ "}"
 
 (* ------------------------------------------------------------------ *)
 (* Parsing (flat objects only)                                         *)
@@ -109,13 +123,13 @@ let parse_flat_obj s =
     skip_ws ();
     match peek () with
     | Some '"' -> Str (parse_string ())
-    | Some ('{' | '[') -> error "nested structures unsupported (flat object expected)"
+    | Some ('{' | '[') -> error "nested structures unsupported (scalar expected)"
     | Some _ ->
       let start = !pos in
       while
         !pos < n
         && match s.[!pos] with
-           | ',' | '}' | ' ' | '\t' | '\n' | '\r' -> false
+           | ',' | '}' | ']' | ' ' | '\t' | '\n' | '\r' -> false
            | _ -> true
       do
         incr pos
@@ -131,6 +145,33 @@ let parse_flat_obj s =
         | None -> error "bad scalar %S" tok))
     | None -> error "unexpected end of input"
   in
+  (* One level of structure: values are scalars or arrays of scalars. *)
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      (match peek () with
+      | Some ']' ->
+        incr pos;
+        Arr []
+      | _ ->
+        let items = ref [] in
+        let rec go () =
+          items := parse_scalar () :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            go ()
+          | Some ']' -> incr pos
+          | _ -> error "expected , or ]"
+        in
+        go ();
+        Arr (List.rev !items))
+    | _ -> parse_scalar ()
+  in
   try
     expect '{';
     skip_ws ();
@@ -142,7 +183,7 @@ let parse_flat_obj s =
         skip_ws ();
         let key = parse_string () in
         expect ':';
-        let v = parse_scalar () in
+        let v = parse_value () in
         pairs := (key, v) :: !pairs;
         skip_ws ();
         match peek () with

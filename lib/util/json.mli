@@ -1,10 +1,16 @@
 (** Minimal JSON support for the harness's machine-readable artifacts —
-    the committed golden-metrics file the CI drift gate compares against
-    and the fuzzer's counterexample reports. Only the fragment those
-    need: serialising string/number objects and parsing back a *flat*
-    object of scalars. No external dependencies. *)
+    the committed golden-metrics file the CI drift gate compares against,
+    the fuzzer's counterexample reports, and the [BENCH_*.json] JSONL
+    trajectories. Only the fragment those need: serialising objects of
+    scalars (plus one level of scalar arrays, for per-worker vectors)
+    and parsing them back. No external dependencies. *)
 
-type value = Null | Bool of bool | Num of float | Str of string
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list  (** scalar elements only; no nesting *)
 
 val escape : string -> string
 (** JSON string escaping (quotes, backslashes, control characters). *)
@@ -17,10 +23,15 @@ val obj_to_string : (string * value) list -> string
 (** A flat object, one [" key": value] pair per entry, pretty-printed
     with one pair per line (stable diffs under version control). *)
 
+val obj_to_line : (string * value) list -> string
+(** The same object compact on a single line, no trailing newline — the
+    JSONL form the bench trajectories append ({!Bench_log}). *)
+
 val parse_flat_obj : string -> ((string * value) list, string) result
-(** Parse a flat JSON object of scalar values (the output of
-    {!obj_to_string}). Nested arrays/objects are rejected with an
-    error message — the golden file format is deliberately flat. *)
+(** Parse a flat JSON object whose values are scalars or arrays of
+    scalars (the output of {!obj_to_string} / {!obj_to_line}). Objects
+    nested anywhere, or arrays inside arrays, are rejected with an
+    error message — the artifact formats are deliberately flat. *)
 
 val write_file : path:string -> string -> unit
 val read_file : path:string -> (string, string) result

@@ -1,0 +1,225 @@
+(* Tests of the bench-trajectory log: the JSONL writer (including the
+   fig12 regression — no section line may record zero seconds or an
+   empty worker vector), schema versioning with tolerant legacy
+   parsing, the flat-JSON array round-trip, and the regression gate
+   behind `bench compare`. *)
+
+module Bench_log = Occamy_util.Bench_log
+module Json = Occamy_util.Json
+module Domain_pool = Occamy_util.Domain_pool
+
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let tmp_path name =
+  let path = Filename.temp_file ("occamy_" ^ name) ".json" in
+  Sys.remove path;
+  path
+
+let with_tmp name f =
+  let path = tmp_path name in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* ---------------- writing ------------------------------------------ *)
+
+(* The fig12 bug: a section that never touched the pool used to record
+   `seconds:0.000, workers:0` with empty per-worker vectors. Every
+   recorded line must carry positive seconds and a non-empty worker
+   vector. *)
+let test_recorded_line_never_zero () =
+  with_tmp "sections" (fun path ->
+      Domain_pool.reset_totals ();
+      (* a sub-precision duration and an idle pool — the worst case *)
+      Bench_log.record_section ~path ~section:"fig12" ~seconds:1e-7 ~jobs:4 ();
+      let entries, warnings = Bench_log.load ~path in
+      check_int "no warnings" 0 (List.length warnings);
+      match entries with
+      | [ e ] ->
+        check_bool "seconds > 0" true (e.Bench_log.e_seconds > 0.0);
+        check_int "schema stamped" Bench_log.schema_version
+          e.Bench_log.e_schema;
+        check_bool "workers >= 1" true
+          (match Bench_log.num e "workers" with
+          | Some w -> w >= 1.0
+          | None -> false);
+        (match List.assoc_opt "worker_tasks" e.Bench_log.e_fields with
+        | Some (Json.Arr (_ :: _)) -> ()
+        | Some (Json.Arr []) -> Alcotest.fail "empty worker vector"
+        | _ -> Alcotest.fail "missing worker_tasks vector")
+      | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l))
+
+let test_append_accumulates () =
+  with_tmp "accum" (fun path ->
+      for i = 1 to 3 do
+        Bench_log.record_section ~path ~section:"s"
+          ~seconds:(float_of_int i) ~jobs:1 ()
+      done;
+      let entries, _ = Bench_log.load ~path in
+      check_int "three lines" 3 (List.length entries);
+      check_bool "file order preserved" true
+        (List.map (fun e -> e.Bench_log.e_seconds) entries = [ 1.0; 2.0; 3.0 ]))
+
+(* ---------------- parsing ------------------------------------------ *)
+
+let test_legacy_line_parses () =
+  (* an unversioned line from an old checkout: no schema, no arrays *)
+  let line = {|{"section":"fig10","seconds":12.061,"jobs":4,"maps":26}|} in
+  match Bench_log.parse_line line with
+  | Ok (Some e) ->
+    check_int "legacy schema is 0" 0 e.Bench_log.e_schema;
+    check_bool "seconds" true (e.Bench_log.e_seconds = 12.061);
+    check_int "jobs" 4 e.Bench_log.e_jobs;
+    check_int "extra fields kept" 26 (Bench_log.entry_int e "maps" ~default:0)
+  | Ok None -> Alcotest.fail "parsed as blank"
+  | Error msg -> Alcotest.failf "legacy line rejected: %s" msg
+
+let test_blank_and_garbage_lines () =
+  check_bool "blank is Ok None" true
+    (match Bench_log.parse_line "   " with Ok None -> true | _ -> false);
+  List.iter
+    (fun bad ->
+      check_bool (Printf.sprintf "rejected: %s" bad) true
+        (match Bench_log.parse_line bad with Error _ -> true | _ -> false))
+    [
+      "not json at all";
+      {|{"seconds":1.0}|} (* no section *);
+      {|{"section":"x"}|} (* no seconds *);
+      {|{"section":{"nested":1},"seconds":1.0}|};
+    ]
+
+let test_load_skips_garbage_with_warning () =
+  with_tmp "garbage" (fun path ->
+      let oc = open_out path in
+      output_string oc
+        ({|{"section":"a","seconds":1.0,"jobs":1}|} ^ "\n" ^ "### corrupt ###\n"
+       ^ {|{"section":"b","seconds":2.0,"jobs":1}|} ^ "\n");
+      close_out oc;
+      let entries, warnings = Bench_log.load ~path in
+      check_int "two good entries" 2 (List.length entries);
+      check_int "one warning" 1 (List.length warnings);
+      check_bool "warning names the line" true
+        (Helpers.contains (List.hd warnings) ":2:"))
+
+let test_missing_file () =
+  let entries, warnings = Bench_log.load ~path:"/nonexistent/bench.json" in
+  check_int "no entries" 0 (List.length entries);
+  check_int "one warning" 1 (List.length warnings)
+
+let test_array_roundtrip () =
+  let fields =
+    [
+      ("section", Json.Str "s");
+      ("seconds", Json.Num 1.5);
+      ("worker_tasks", Json.Arr [ Json.Num 3.0; Json.Num 4.0 ]);
+      ("empty", Json.Arr []);
+      ("flag", Json.Bool true);
+    ]
+  in
+  let line = Json.obj_to_line fields in
+  match Json.parse_flat_obj line with
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+  | Ok parsed ->
+    check_bool "array survives" true
+      (List.assoc_opt "worker_tasks" parsed
+      = Some (Json.Arr [ Json.Num 3.0; Json.Num 4.0 ]));
+    check_bool "empty array survives" true
+      (List.assoc_opt "empty" parsed = Some (Json.Arr []))
+
+(* ---------------- the regression gate ------------------------------ *)
+
+let entry ?(section = "s") ?(jobs = 1) seconds =
+  {
+    Bench_log.e_schema = Bench_log.schema_version;
+    e_section = section;
+    e_jobs = jobs;
+    e_seconds = seconds;
+    e_fields = [ ("section", Json.Str section); ("seconds", Json.Num seconds) ];
+  }
+
+let test_compare_flat_trajectory_passes () =
+  (* a realistic noisy-but-flat history: the latest run is within noise *)
+  let entries = List.map entry [ 1.00; 1.03; 0.98; 1.01; 0.99; 1.02 ] in
+  let cs = Bench_log.compare_entries entries in
+  check_int "one group" 1 (List.length cs);
+  check_int "no regressions" 0 (List.length (Bench_log.regressions cs))
+
+let test_compare_catches_injected_slowdown () =
+  (* same history with a synthetic 20% slowdown appended: the gate
+     (default threshold 10%) must fire *)
+  let entries = List.map entry [ 1.00; 1.03; 0.98; 1.01; 0.99; 1.20 ] in
+  let cs = Bench_log.compare_entries entries in
+  match Bench_log.regressions cs with
+  | [ c ] ->
+    check_bool "ratio ~ 1.2" true
+      (c.Bench_log.c_ratio > 1.15 && c.Bench_log.c_ratio < 1.25);
+    check_bool "baseline is the trailing median" true
+      (Float.abs (c.Bench_log.c_baseline -. 1.00) < 1e-9)
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l)
+
+let test_compare_groups_by_section_and_jobs () =
+  (* -j1 and -j4 runs of one section must not gate each other: the j4
+     run is 3x faster, which is parallelism, not a regression *)
+  let entries =
+    List.concat_map
+      (fun s -> [ entry ~jobs:1 s; entry ~jobs:4 (s /. 3.0) ])
+      [ 3.0; 3.0; 3.0; 3.0 ]
+  in
+  let cs = Bench_log.compare_entries entries in
+  check_int "two groups" 2 (List.length cs);
+  check_int "no cross-group regressions" 0
+    (List.length (Bench_log.regressions cs))
+
+let test_compare_ignores_fast_sections () =
+  (* sub-min_seconds sections are clock noise, never gated *)
+  let entries = List.map entry [ 0.001; 0.001; 0.001; 0.003 ] in
+  check_int "3x on a 1ms section is not a regression" 0
+    (List.length (Bench_log.regressions (Bench_log.compare_entries entries)))
+
+let test_compare_named_baseline () =
+  let baseline = List.map entry [ 1.0; 1.02; 0.98 ] in
+  let current = [ entry 1.25 ] in
+  let cs = Bench_log.compare_entries ~baseline current in
+  (match Bench_log.regressions cs with
+  | [ c ] -> check_int "all baseline samples used" 3 c.Bench_log.c_samples
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  (* against a matching baseline the same run passes *)
+  let cs_ok = Bench_log.compare_entries ~baseline [ entry 1.01 ] in
+  check_int "ok against baseline" 0
+    (List.length (Bench_log.regressions cs_ok))
+
+let test_compare_threshold_validation () =
+  check_bool "non-positive threshold rejected" true
+    (try
+       ignore (Bench_log.compare_entries ~threshold:0.0 [ entry 1.0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let suites =
+  [
+    ( "bench_log",
+      [
+        Alcotest.test_case "recorded line never zero (fig12)" `Quick
+          test_recorded_line_never_zero;
+        Alcotest.test_case "append accumulates" `Quick test_append_accumulates;
+        Alcotest.test_case "legacy line parses" `Quick test_legacy_line_parses;
+        Alcotest.test_case "blank and garbage lines" `Quick
+          test_blank_and_garbage_lines;
+        Alcotest.test_case "load skips garbage with warning" `Quick
+          test_load_skips_garbage_with_warning;
+        Alcotest.test_case "missing file" `Quick test_missing_file;
+        Alcotest.test_case "array round-trip" `Quick test_array_roundtrip;
+        Alcotest.test_case "flat trajectory passes" `Quick
+          test_compare_flat_trajectory_passes;
+        Alcotest.test_case "injected slowdown caught" `Quick
+          test_compare_catches_injected_slowdown;
+        Alcotest.test_case "groups by section and jobs" `Quick
+          test_compare_groups_by_section_and_jobs;
+        Alcotest.test_case "fast sections ignored" `Quick
+          test_compare_ignores_fast_sections;
+        Alcotest.test_case "named baseline" `Quick test_compare_named_baseline;
+        Alcotest.test_case "threshold validation" `Quick
+          test_compare_threshold_validation;
+      ] );
+  ]

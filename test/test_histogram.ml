@@ -1,0 +1,212 @@
+(* Tests of the log-bucketed latency histogram behind the self-profiler:
+   percentiles against a sorted-array oracle, merge associativity and
+   commutativity on random shards, the exact low range, and the zero /
+   overflow buckets. *)
+
+module Histogram = Occamy_obs.Histogram
+module Rng = Occamy_util.Rng
+
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let of_list vs =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) vs;
+  h
+
+(* ---------------- basics ------------------------------------------- *)
+
+let test_empty () =
+  let h = Histogram.create () in
+  check_bool "empty" true (Histogram.is_empty h);
+  check_int "count" 0 (Histogram.count h);
+  check_int "p50 of empty" 0 (Histogram.percentile h 50.0);
+  check_int "min" 0 (Histogram.min_value h);
+  check_int "max" 0 (Histogram.max_value h)
+
+let test_exact_low_range () =
+  (* Values below 2 * 2^sub_bits land in single-value buckets, so any
+     percentile of small samples is exact. *)
+  let h = of_list [ 5; 1; 3; 2; 4 ] in
+  check_int "count" 5 (Histogram.count h);
+  check_int "min" 1 (Histogram.min_value h);
+  check_int "max" 5 (Histogram.max_value h);
+  check_int "p0" 1 (Histogram.percentile h 0.0);
+  check_int "p50" 3 (Histogram.percentile h 50.0);
+  check_int "p100" 5 (Histogram.percentile h 100.0)
+
+let test_zero_bucket () =
+  let h = of_list [ 0; 0; 0; 7 ] in
+  check_int "zeros" 3 (Histogram.zeros h);
+  check_int "count" 4 (Histogram.count h);
+  check_int "p50" 0 (Histogram.percentile h 50.0);
+  check_int "p100" 7 (Histogram.percentile h 100.0);
+  check_int "min" 0 (Histogram.min_value h)
+
+let test_overflow_clamps () =
+  let h = Histogram.create ~max_value:1000 () in
+  Histogram.add h 999;
+  Histogram.add h 5_000_000;
+  Histogram.add h max_int;
+  check_int "count includes clamped" 3 (Histogram.count h);
+  check_int "overflow" 2 (Histogram.overflow h);
+  check_bool "max clamped to max_value" true (Histogram.max_value h <= 1000);
+  check_bool "p100 clamped" true (Histogram.percentile h 100.0 <= 1000)
+
+let test_negative_rejected () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Histogram.add: negative value") (fun () ->
+      Histogram.add h (-1))
+
+let test_add_n_matches_add () =
+  let a = Histogram.create () in
+  let b = Histogram.create () in
+  List.iter
+    (fun v ->
+      Histogram.add_n a v ~count:3;
+      Histogram.add b v;
+      Histogram.add b v;
+      Histogram.add b v)
+    [ 0; 17; 90_000; 123_456_789 ];
+  check_int "count" (Histogram.count b) (Histogram.count a);
+  check_bool "buckets" true (Histogram.buckets a = Histogram.buckets b)
+
+(* ---------------- percentile vs sorted-array oracle ----------------- *)
+
+(* The documented contract: an upper bound of the ceil(p/100*n)-th
+   smallest sample, within relative 2^-sub_bits. *)
+let check_against_oracle ~label h sorted =
+  let n = Array.length sorted in
+  List.iter
+    (fun p ->
+      let got = Histogram.percentile h p in
+      let rank = max 1 (min n (int_of_float (ceil (p /. 100.0 *. float n)))) in
+      let want = sorted.(rank - 1) in
+      let slack =
+        (* one sub-bucket of relative error at this magnitude *)
+        float want /. float (1 lsl Histogram.sub_bits h)
+      in
+      if float got < float want -. 0.5 then
+        Alcotest.failf "%s: p%.0f=%d below oracle %d" label p got want;
+      if float got > float want +. slack +. 0.5 then
+        Alcotest.failf "%s: p%.0f=%d above oracle %d (+%.0f allowed)" label p
+          got want slack)
+    [ 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ]
+
+let test_percentile_oracle () =
+  let rng = Rng.create ~seed:42 in
+  List.iter
+    (fun (label, gen) ->
+      let vs = Array.init 2000 (fun _ -> gen ()) in
+      let h = Histogram.create () in
+      Array.iter (Histogram.add h) vs;
+      let sorted = Array.copy vs in
+      Array.sort compare sorted;
+      check_against_oracle ~label h sorted)
+    [
+      ("uniform small", fun () -> Rng.int rng 64);
+      ("uniform wide", fun () -> Rng.int rng 10_000_000);
+      ( "log-spread",
+        fun () -> 1 lsl Rng.int rng 30 + Rng.int rng 1000 );
+      ("constant", fun () -> 777);
+    ]
+
+(* ---------------- merge algebra ------------------------------------ *)
+
+let random_hist rng =
+  let h = Histogram.create () in
+  for _ = 1 to 100 + Rng.int rng 200 do
+    Histogram.add h (Rng.int rng 1_000_000)
+  done;
+  h
+
+let hist_equal a b =
+  Histogram.count a = Histogram.count b
+  && Histogram.min_value a = Histogram.min_value b
+  && Histogram.max_value a = Histogram.max_value b
+  && Histogram.sum a = Histogram.sum b
+  && Histogram.buckets a = Histogram.buckets b
+
+let test_merge_commutative () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 20 do
+    let a = random_hist rng and b = random_hist rng in
+    check_bool "a+b = b+a" true
+      (hist_equal (Histogram.merge a b) (Histogram.merge b a))
+  done
+
+let test_merge_associative () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 20 do
+    let a = random_hist rng
+    and b = random_hist rng
+    and c = random_hist rng in
+    check_bool "(a+b)+c = a+(b+c)" true
+      (hist_equal
+         (Histogram.merge (Histogram.merge a b) c)
+         (Histogram.merge a (Histogram.merge b c)))
+  done
+
+let test_merge_mismatched_rejected () =
+  let a = Histogram.create ~sub_bits:4 () in
+  let b = Histogram.create ~sub_bits:5 () in
+  check_bool "mismatched sub_bits rejected" true
+    (try
+       Histogram.merge_into ~into:a b;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- shards ------------------------------------------- *)
+
+let test_sharded_record_and_merge () =
+  let s = Histogram.Sharded.create ~workers:4 () in
+  check_int "workers" 4 (Histogram.Sharded.workers s);
+  for w = 0 to 3 do
+    for i = 1 to 10 do
+      Histogram.Sharded.record s ~worker:w ((w * 100) + i)
+    done
+  done;
+  (* out-of-range worker ids fold into the last shard, not lost *)
+  Histogram.Sharded.record s ~worker:99 7;
+  let m = Histogram.Sharded.merged s in
+  check_int "all samples survive the merge" 41 (Histogram.count m);
+  check_int "own shard count" 10
+    (Histogram.count (Histogram.Sharded.shard s ~worker:0));
+  check_int "folded stray" 11
+    (Histogram.count (Histogram.Sharded.shard s ~worker:3))
+
+let test_sharded_observer () =
+  let s = Histogram.Sharded.create ~workers:2 () in
+  Histogram.Sharded.task_observer s ~worker:1 ~index:0 ~phase:`Start;
+  Histogram.Sharded.task_observer s ~worker:1 ~index:0 ~phase:`Stop;
+  Histogram.Sharded.task_observer s ~worker:0 ~index:1 ~phase:(`Steal 1);
+  let m = Histogram.Sharded.merged s in
+  check_int "one latency recorded" 1 (Histogram.count m);
+  check_int "stop without start ignored" 1
+    (let s2 = Histogram.Sharded.create ~workers:1 () in
+     Histogram.Sharded.task_observer s2 ~worker:0 ~index:0 ~phase:`Stop;
+     Histogram.Sharded.task_observer s2 ~worker:0 ~index:0 ~phase:`Start;
+     Histogram.Sharded.task_observer s2 ~worker:0 ~index:0 ~phase:`Stop;
+     Histogram.count (Histogram.Sharded.merged s2))
+
+let suites =
+  [
+    ( "histogram",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "exact low range" `Quick test_exact_low_range;
+        Alcotest.test_case "zero bucket" `Quick test_zero_bucket;
+        Alcotest.test_case "overflow clamps" `Quick test_overflow_clamps;
+        Alcotest.test_case "negative rejected" `Quick test_negative_rejected;
+        Alcotest.test_case "add_n = repeated add" `Quick test_add_n_matches_add;
+        Alcotest.test_case "percentile vs oracle" `Quick test_percentile_oracle;
+        Alcotest.test_case "merge commutative" `Quick test_merge_commutative;
+        Alcotest.test_case "merge associative" `Quick test_merge_associative;
+        Alcotest.test_case "merge mismatch rejected" `Quick
+          test_merge_mismatched_rejected;
+        Alcotest.test_case "sharded record/merge" `Quick
+          test_sharded_record_and_merge;
+        Alcotest.test_case "sharded observer" `Quick test_sharded_observer;
+      ] );
+  ]
