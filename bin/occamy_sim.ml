@@ -499,6 +499,86 @@ let export_cmd =
 
 (* ---------------- fuzz --------------------------------------------- *)
 
+let corpus_cmd =
+  (* Replay the pinned regression corpus through the full differential
+     pipeline (reference semantics vs EM-SIMD interpreter vs cycle
+     simulator on all four architectures, each simulated twice — naive
+     tick loop and event-horizon fast-forwarding — and held bit-identical
+     by Invariant.check_equivalent). The nightly workflow runs this
+     against the current core representation so a hot-loop rewrite that
+     keeps tier-1 tests green but breaks a pinned counterexample still
+     surfaces, with the failing seeds written out as a JSONL artifact. *)
+  let corpus_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:
+            "On failure, write the failing corpus entries (name, seed, \
+             stage, message, repro command) as \
+             $(docv)/corpus_failures.json for CI artifact upload.")
+  in
+  let write_corpus_failures dir failures =
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    (* JSONL, one failing entry per line — the harness's flat-object
+       JSON fragment has no nested objects. *)
+    let path = Filename.concat dir "corpus_failures.json" in
+    let oc = open_out path in
+    List.iter
+      (fun ((e : Occamy_check.Corpus.entry), (f : Occamy_check.Diff.failure)) ->
+        output_string oc
+          (Occamy_util.Json.obj_to_line
+             [
+               ("name", Occamy_util.Json.Str e.Occamy_check.Corpus.name);
+               (* as a string: replay seeds are 62-bit, beyond exact
+                  float range *)
+               ( "seed",
+                 Occamy_util.Json.Str (string_of_int e.Occamy_check.Corpus.seed)
+               );
+               ("stage", Occamy_util.Json.Str f.Occamy_check.Diff.stage);
+               ("message", Occamy_util.Json.Str f.Occamy_check.Diff.message);
+               ( "repro",
+                 Occamy_util.Json.Str
+                   (Occamy_check.Fuzz.repro_command e.Occamy_check.Corpus.seed)
+               );
+             ]);
+        output_char oc '\n')
+      failures;
+    close_out oc;
+    Fmt.pr "wrote %s@." path
+  in
+  let run out =
+    let entries = Occamy_check.Corpus.entries in
+    let failures =
+      List.filter_map
+        (fun (e : Occamy_check.Corpus.entry) ->
+          match Occamy_check.Corpus.replay e with
+          | Ok () ->
+            Fmt.pr "corpus %-32s ok@." e.Occamy_check.Corpus.name;
+            None
+          | Error f ->
+            Fmt.pr "corpus %-32s FAILED: %a@." e.Occamy_check.Corpus.name
+              Occamy_check.Diff.pp_failure f;
+            Some (e, f))
+        entries
+    in
+    Fmt.pr "corpus: %d/%d entries passed@."
+      (List.length entries - List.length failures)
+      (List.length entries);
+    match failures with
+    | [] -> `Ok ()
+    | _ :: _ ->
+      Option.iter (fun dir -> write_corpus_failures dir failures) out;
+      `Error (false, "corpus replay found failures")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Replay the pinned regression corpus through the differential \
+          pipeline (naive and fast-forwarding simulator loops held \
+          bit-identical on every entry)")
+    Term.(ret (const run $ corpus_out_arg))
+
 let fuzz_cmd =
   let seed_arg =
     Arg.(
@@ -670,4 +750,4 @@ let () =
        (Cmd.group
           (Cmd.info "occamy-sim" ~version:"1.0.0" ~doc)
           [ run_cmd; motivating_cmd; list_cmd; disasm_cmd; roofline_cmd;
-            area_cmd; export_cmd; fuzz_cmd ]))
+            area_cmd; export_cmd; fuzz_cmd; corpus_cmd ]))

@@ -31,10 +31,29 @@ let owned_by t ~core =
   done;
   !acc
 
-let count_owned t ~core =
-  Array.fold_left
-    (fun n o -> if o = Core core then n + 1 else n)
-    0 t.owners
+(* Closure-free count: [consistent_with] runs inside the simulator's
+   periodic invariant check, which sits on the zero-allocation path. *)
+let rec count_owned_from owners core u acc =
+  if u >= Array.length owners then acc
+  else
+    count_owned_from owners core (u + 1)
+      (match owners.(u) with Core c when c = core -> acc + 1 | _ -> acc)
+
+let count_owned t ~core = count_owned_from t.owners core 0 0
+
+(** Write the unit indices core [core] owns into [buf] (increasing
+    order); returns how many. Allocation-free [owned_by] for the
+    dispatcher's cached per-core unit arrays. *)
+let rec owned_fill owners core buf u k =
+  if u >= Array.length owners then k
+  else
+    match owners.(u) with
+    | Core c when c = core ->
+        buf.(k) <- u;
+        owned_fill owners core buf (u + 1) (k + 1)
+    | _ -> owned_fill owners core buf (u + 1) k
+
+let owned_into t ~core buf = owned_fill t.owners core buf 0 0
 
 let count_free t =
   Array.fold_left (fun n o -> if o = Free then n + 1 else n) 0 t.owners
@@ -66,13 +85,12 @@ let release_all t ~core = reassign t ~core ~count:0
 
 (** No unit owned twice is structural; check per-core counts against an
     expected vector (the resource table's `<VL>` column). *)
-let consistent_with t expected_counts =
-  let cores = Array.length expected_counts in
-  let ok = ref true in
-  for c = 0 to cores - 1 do
-    if count_owned t ~core:c <> expected_counts.(c) then ok := false
-  done;
-  !ok
+let rec consistent_from t expected_counts c =
+  c >= Array.length expected_counts
+  || count_owned t ~core:c = expected_counts.(c)
+     && consistent_from t expected_counts (c + 1)
+
+let consistent_with t expected_counts = consistent_from t expected_counts 0
 
 let pp ppf t =
   Fmt.pf ppf "%s[" t.name;

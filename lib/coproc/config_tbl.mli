@@ -11,6 +11,12 @@ val units : t -> int
 val owner : t -> int -> owner
 val owned_by : t -> core:int -> int list
 val count_owned : t -> core:int -> int
+
+val owned_into : t -> core:int -> int array -> int
+(** Allocation-free {!owned_by}: writes the owned unit indices into the
+    buffer (increasing order) and returns how many were written. The
+    buffer must hold at least [units t] elements. *)
+
 val count_free : t -> int
 
 val reassign : t -> core:int -> count:int -> unit

@@ -60,6 +60,35 @@ let issue t ~unit_ids =
       t.uops.(u) <- t.uops.(u) + 1)
     unit_ids
 
+(* Allocation-free probe over the first [n] entries of an int array of
+   unit ids — the dispatcher's issue scan runs on this path every cycle,
+   and the closure the list version allocates per call was a measurable
+   slice of the ~44% dispatch share the self-profiler reported. *)
+let rec probe t ids n i =
+  i >= n
+  ||
+  let u = ids.(i) in
+  if u < 0 || u >= t.units then invalid_arg "Exebu.can_issue";
+  t.slots.(u) < t.pipes_per_unit && probe t ids n (i + 1)
+
+(** Array variant of {!can_issue} over [unit_ids.(0 .. n-1)];
+    counter-identical (one slot probe per call) and allocation-free. *)
+let can_issue_arr t ~unit_ids ~n =
+  t.issue_checks <- t.issue_checks + 1;
+  probe t unit_ids n 0
+
+(** Array variant of {!issue}; like {!issue} it re-probes internally, so
+    a successful issue costs two {!issue_checks} on either API. *)
+let issue_arr t ~unit_ids ~n =
+  if not (can_issue_arr t ~unit_ids ~n) then
+    invalid_arg "Exebu.issue: no slot free";
+  t.issues <- t.issues + 1;
+  for i = 0 to n - 1 do
+    let u = unit_ids.(i) in
+    t.slots.(u) <- t.slots.(u) + 1;
+    t.uops.(u) <- t.uops.(u) + 1
+  done
+
 let uops_executed t = Array.fold_left ( + ) 0 t.uops
 let uops_of_unit t u = t.uops.(u)
 let issue_checks t = t.issue_checks

@@ -14,6 +14,16 @@ val begin_cycle : t -> cycle:int -> unit
 
 val can_issue : t -> unit_ids:int list -> bool
 val issue : t -> unit_ids:int list -> unit
+
+val can_issue_arr : t -> unit_ids:int array -> n:int -> bool
+(** {!can_issue} over [unit_ids.(0 .. n-1)] — allocation-free and
+    counter-identical (one slot probe per call); the dispatcher's
+    hot-path entry point. *)
+
+val issue_arr : t -> unit_ids:int array -> n:int -> unit
+(** {!issue} over [unit_ids.(0 .. n-1)]; re-probes internally like
+    {!issue}, so a successful issue costs two {!issue_checks}. *)
+
 val uops_executed : t -> int
 val uops_of_unit : t -> int -> int
 

@@ -5,15 +5,26 @@
     them when the memory hierarchy signals completion. Occupancy limits
     bound the memory-level parallelism a core can extract, which, together
     with the hierarchy's bandwidth channels, determines whether a phase is
-    latency-, bandwidth- or issue-bound. *)
+    latency-, bandwidth- or issue-bound.
 
-type entry = { done_at : int; is_store : bool; mob_id : int option }
+    Data-oriented layout: each direction is a binary min-heap on
+    completion cycle held in preallocated parallel int arrays
+    ([done_at] keys, MOB handles as payload). Retirement pops entries
+    while the root is due — O(completions · log occupancy) instead of
+    the occupancy-proportional sweep this replaces — and the
+    fast-forward horizon reads the next completion straight off the
+    root in O(1). Steady-state operation allocates nothing. *)
 
 type t = {
   load_capacity : int;
   store_capacity : int;
-  mutable loads : entry list;
-  mutable stores : entry list;
+  (* per-direction completion heaps *)
+  l_done : int array;
+  l_mob : int array;
+  mutable l_n : int;
+  s_done : int array;
+  s_mob : int array;
+  mutable s_n : int;
   mutable total_issued : int;
   mutable peak_loads : int;
   mutable peak_stores : int;
@@ -25,11 +36,17 @@ type t = {
 }
 
 let create ?(load_capacity = 48) ?(store_capacity = 24) () =
+  if load_capacity <= 0 || store_capacity <= 0 then
+    invalid_arg "Lsu.create: capacities must be positive";
   {
     load_capacity;
     store_capacity;
-    loads = [];
-    stores = [];
+    l_done = Array.make load_capacity 0;
+    l_mob = Array.make load_capacity (-1);
+    l_n = 0;
+    s_done = Array.make store_capacity 0;
+    s_mob = Array.make store_capacity (-1);
+    s_n = 0;
     total_issued = 0;
     peak_loads = 0;
     peak_stores = 0;
@@ -37,52 +54,124 @@ let create ?(load_capacity = 48) ?(store_capacity = 24) () =
     retired = 0;
   }
 
-let can_accept t ~is_store =
-  if is_store then List.length t.stores < t.store_capacity
-  else List.length t.loads < t.load_capacity
+let[@inline] can_accept t ~is_store =
+  if is_store then t.s_n < t.store_capacity else t.l_n < t.load_capacity
 
-let add t ~done_at ~is_store ~mob_id =
-  if not (can_accept t ~is_store) then invalid_arg "Lsu.add: queue full";
-  let e = { done_at; is_store; mob_id } in
+(* Classic array-heap sift operations over the (done, mob) pairs. *)
+let rec sift_up done_a mob_a i =
+  if i > 0 then begin
+    let p = (i - 1) asr 1 in
+    if done_a.(p) > done_a.(i) then begin
+      let d = done_a.(p) and m = mob_a.(p) in
+      done_a.(p) <- done_a.(i);
+      mob_a.(p) <- mob_a.(i);
+      done_a.(i) <- d;
+      mob_a.(i) <- m;
+      sift_up done_a mob_a p
+    end
+  end
+
+let rec sift_down done_a mob_a n i =
+  let l = (2 * i) + 1 in
+  if l < n then begin
+    let c = if l + 1 < n && done_a.(l + 1) < done_a.(l) then l + 1 else l in
+    if done_a.(c) < done_a.(i) then begin
+      let d = done_a.(c) and m = mob_a.(c) in
+      done_a.(c) <- done_a.(i);
+      mob_a.(c) <- mob_a.(i);
+      done_a.(i) <- d;
+      mob_a.(i) <- m;
+      sift_down done_a mob_a n c
+    end
+  end
+
+(** [add_slot] is the simulator's allocation-free entry point; [mob] is a
+    MOB slot handle or [-1] for none. *)
+let add_slot t ~done_at ~is_store ~mob =
   if is_store then begin
-    t.stores <- e :: t.stores;
-    t.peak_stores <- max t.peak_stores (List.length t.stores)
+    if t.s_n = t.store_capacity then invalid_arg "Lsu.add: queue full";
+    let i = t.s_n in
+    t.s_n <- i + 1;
+    t.s_done.(i) <- done_at;
+    t.s_mob.(i) <- mob;
+    sift_up t.s_done t.s_mob i;
+    if t.s_n > t.peak_stores then t.peak_stores <- t.s_n
   end
   else begin
-    t.loads <- e :: t.loads;
-    t.peak_loads <- max t.peak_loads (List.length t.loads)
+    if t.l_n = t.load_capacity then invalid_arg "Lsu.add: queue full";
+    let i = t.l_n in
+    t.l_n <- i + 1;
+    t.l_done.(i) <- done_at;
+    t.l_mob.(i) <- mob;
+    sift_up t.l_done t.l_mob i;
+    if t.l_n > t.peak_loads then t.peak_loads <- t.l_n
   end;
   t.total_issued <- t.total_issued + 1
 
-(** Remove completed entries; returns the MOB ids to deallocate. The
-    nothing-completed case is the common one on stall-heavy cycles, so it
-    is detected first without allocating. *)
-let retire t ~now =
-  t.retire_calls <- t.retire_calls + 1;
-  let completed e = e.done_at <= now in
-  if not (List.exists completed t.loads || List.exists completed t.stores)
-  then []
-  else begin
-    let split l = List.partition completed l in
-    let done_l, loads = split t.loads in
-    let done_s, stores = split t.stores in
-    t.loads <- loads;
-    t.stores <- stores;
-    t.retired <- t.retired + List.length done_l + List.length done_s;
-    List.filter_map (fun e -> e.mob_id) (done_l @ done_s)
+let add t ~done_at ~is_store ~mob_id =
+  add_slot t ~done_at ~is_store
+    ~mob:(match mob_id with Some id -> id | None -> -1)
+
+(* Pop one direction's due completions into [buf] starting at [k];
+   returns the new [k]. The heap order makes this a root test per
+   remaining entry — no occupancy sweep. *)
+let rec pop_loads t ~now buf k =
+  if t.l_n > 0 && t.l_done.(0) <= now then begin
+    let m = t.l_mob.(0) in
+    t.l_n <- t.l_n - 1;
+    t.l_done.(0) <- t.l_done.(t.l_n);
+    t.l_mob.(0) <- t.l_mob.(t.l_n);
+    sift_down t.l_done t.l_mob t.l_n 0;
+    t.retired <- t.retired + 1;
+    if m >= 0 then begin
+      buf.(k) <- m;
+      pop_loads t ~now buf (k + 1)
+    end
+    else pop_loads t ~now buf k
   end
+  else k
+
+let rec pop_stores t ~now buf k =
+  if t.s_n > 0 && t.s_done.(0) <= now then begin
+    let m = t.s_mob.(0) in
+    t.s_n <- t.s_n - 1;
+    t.s_done.(0) <- t.s_done.(t.s_n);
+    t.s_mob.(0) <- t.s_mob.(t.s_n);
+    sift_down t.s_done t.s_mob t.s_n 0;
+    t.retired <- t.retired + 1;
+    if m >= 0 then begin
+      buf.(k) <- m;
+      pop_stores t ~now buf (k + 1)
+    end
+    else pop_stores t ~now buf k
+  end
+  else k
+
+(** Retire completed entries into [into] (their MOB handles; must hold at
+    least [load_capacity + store_capacity] elements); returns how many
+    handles were written. Completions without a MOB handle are retired
+    and counted but not reported. *)
+let retire_into t ~now ~into =
+  t.retire_calls <- t.retire_calls + 1;
+  pop_stores t ~now into (pop_loads t ~now into 0)
+
+(** List-returning convenience wrapper around {!retire_into}. *)
+let retire t ~now =
+  let buf = Array.make (t.load_capacity + t.store_capacity) (-1) in
+  let n = retire_into t ~now ~into:buf in
+  Array.to_list (Array.sub buf 0 n)
 
 (** Earliest cycle at which any in-flight operation completes; [max_int]
-    when drained. Used to bound the fast-forward event horizon. *)
+    when drained. Read off the heap roots in O(1); bounds the
+    fast-forward event horizon. *)
 let next_done_at t =
-  let min_done acc e = if e.done_at < acc then e.done_at else acc in
-  List.fold_left min_done
-    (List.fold_left min_done max_int t.loads)
-    t.stores
+  let l = if t.l_n > 0 then t.l_done.(0) else max_int in
+  let s = if t.s_n > 0 then t.s_done.(0) else max_int in
+  if s < l then s else l
 
-let outstanding t = List.length t.loads + List.length t.stores
-let outstanding_loads t = List.length t.loads
-let outstanding_stores t = List.length t.stores
+let outstanding t = t.l_n + t.s_n
+let outstanding_loads t = t.l_n
+let outstanding_stores t = t.s_n
 let total_issued t = t.total_issued
 
 (** High-water occupancy marks: how much memory-level parallelism the
@@ -90,6 +179,7 @@ let total_issued t = t.total_issued
 let peak_loads t = t.peak_loads
 
 let peak_stores t = t.peak_stores
-let is_drained t = t.loads = [] && t.stores = []
+
+let[@inline] is_drained t = t.l_n = 0 && t.s_n = 0
 let retire_calls t = t.retire_calls
 let retired t = t.retired

@@ -8,8 +8,18 @@ val create : ?load_capacity:int -> ?store_capacity:int -> unit -> t
 val can_accept : t -> is_store:bool -> bool
 val add : t -> done_at:int -> is_store:bool -> mob_id:int option -> unit
 
+val add_slot : t -> done_at:int -> is_store:bool -> mob:int -> unit
+(** Allocation-free {!add}; [mob] is a MOB slot handle or [-1] for none.
+    The simulator's hot-path entry point. *)
+
 val retire : t -> now:int -> int list
 (** Remove completed entries; returns their MOB ids to deallocate. *)
+
+val retire_into : t -> now:int -> into:int array -> int
+(** Allocation-free {!retire}: writes the MOB handles of completed
+    entries into [into] (sized at least load+store capacity) and returns
+    how many were written. Completions without a handle are retired and
+    counted but not reported. *)
 
 val next_done_at : t -> int
 (** Earliest completion cycle among in-flight operations; [max_int] when

@@ -69,12 +69,22 @@ let try_set_vl t ~core l =
     false
   end
 
+(* Closure-free scan: non-negative entries and their sum in one pass.
+   [invariant_holds] runs inside the simulator's periodic invariant
+   check, which sits on the zero-allocation path (iterator closures over
+   [t.vl] allocate per call). Returns -1 on a negative entry. *)
+let rec sum_nonneg vl i acc =
+  if i >= Array.length vl then acc
+  else if vl.(i) < 0 then -1
+  else sum_nonneg vl (i + 1) (acc + vl.(i))
+
 (** The conservation invariant: free lanes plus allocated lanes equal the
     machine's total. *)
 let invariant_holds t =
   t.al >= 0
-  && Array.for_all (fun v -> v >= 0) t.vl
-  && t.al + Array.fold_left ( + ) 0 t.vl = t.total
+  &&
+  let s = sum_nonneg t.vl 0 0 in
+  s >= 0 && t.al + s = t.total
 
 let pp ppf t =
   Fmt.pf ppf "ResourceTbl{AL=%d;" t.al;

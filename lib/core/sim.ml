@@ -21,7 +21,20 @@
 
     Scalar-visible register *values* are tracked exactly (loop control
     must be faithful); vector data is not — the functional interpreter
-    ({!Occamy_isa.Interp}) covers value semantics. *)
+    ({!Occamy_isa.Interp}) covers value semantics.
+
+    {b Data-oriented core.} The per-cycle state lives in preallocated
+    unboxed [int]/[float] arrays, not heap-linked structures: the
+    instruction pool and the issue window are ring buffers of parallel
+    arrays indexed by monotonically increasing sequence numbers, window
+    occupancy is a packed bitmask ({!Occamy_util.Bitset}) swept by the
+    dispatch scan, register dependences are producer sequence numbers
+    (not entry pointers), and per-instruction operands are pre-decoded
+    once at construction. Steady-state stepping allocates nothing —
+    enforced by the [dod] zero-allocation test and the CI allocation
+    gate — and every structure is bit-identical in behaviour to the
+    boxed representation it replaced (golden metrics, the sim-vs-sim
+    fast-forward suite, and the fuzz corpus all hold). *)
 
 module Instr = Occamy_isa.Instr
 module Reg = Occamy_isa.Reg
@@ -40,6 +53,7 @@ module Lsu = Occamy_coproc.Lsu
 module Exebu = Occamy_coproc.Exebu
 module Lane_mgr = Occamy_lanemgr.Lane_mgr
 module Rng = Occamy_util.Rng
+module Bitset = Occamy_util.Bitset
 module Buckets = Occamy_util.Stats.Buckets
 module Trace = Occamy_obs.Trace
 module Event = Occamy_obs.Event
@@ -49,29 +63,12 @@ module Prof = Occamy_obs.Prof
 (* In-flight instruction representation                                *)
 (* ------------------------------------------------------------------ *)
 
-type wkind = Kcompute of Vop.t | Kdup | Kload | Kstore
-
-type wentry = {
-  kind : wkind;
-  width : int;  (* granules captured at rename *)
-  arr : int;
-  base : int;
-  elems : int;
-  srcs : wentry list;  (* producers this entry waits on *)
-  has_row : bool;      (* holds a physical register row until commit *)
-  mutable issued : bool;
-  mutable done_at : int;
-  mutable mob_id : int option;
-}
-
-(* Pool entries: transmitted SVE instructions with scalar operands
-   resolved at transmit time (address generation happens in the scalar
-   core, §4.1.2). *)
-type pentry =
-  | Pload of { dst : int; arr : int; base : int; elems : int }
-  | Pstore of { src : int; arr : int; base : int; elems : int }
-  | Pcompute of { op : Vop.t; dst : int; srcs : int list }
-  | Pdup of { dst : int }
+(* Instruction kinds are small ints so pool and window entries fit in
+   parallel int arrays (no per-entry variant blocks on the hot path). *)
+let k_load = 0
+let k_store = 1
+let k_compute = 2
+let k_dup = 3
 
 (* Per-core, per-phase statistics accumulator. *)
 type phase_acc = {
@@ -104,26 +101,112 @@ type core_state = {
   fregs : float array;
   mutable halted : bool;
   mutable finish : int;
-  mutable pending_vl : int option;  (* blocked MSR <VL> awaiting drain *)
+  mutable pending_vl : int;  (* blocked MSR <VL> awaiting drain; -1 none *)
   mutable pending_red : bool;       (* blocked Vred awaiting drain *)
   mutable cs_state : cs_state;
   mutable cs_schedule : int list;   (* preemption cycles, ascending *)
   mutable cur_level : Occamy_mem.Level.t;  (* current phase's footprint *)
-  (* co-processor side *)
-  pool : pentry Occamy_util.Bounded_queue.t;
-  vop_srcs : int list array;
-      (* per static instruction, the source vreg indices of a [Vop]
-         (empty otherwise), decoded once at construction so [transmit]
-         does not allocate a fresh list per transmitted instruction *)
-  rob : wentry Queue.t;
-  vmap : wentry option array;  (* arch vreg -> last producer *)
+  (* per-cycle front-end scratch — mutable fields, not refs, so the
+     front-end loop allocates nothing *)
+  mutable fe_budget : int;
+  mutable fe_tbudget : int;
+  mutable fe_monitor : bool;
+  mutable fe_cont : bool;
+  mutable fe_next : int;
+  (* static-program pre-decode (indexed by pc), computed once at
+     construction so transmit/rename do no per-instruction decoding:
+     execution latency of a [Vop], and its up-to-three source vreg
+     indices (-1 = absent) *)
+  dec_lat : int array;
+  dec_s1 : int array;
+  dec_s2 : int array;
+  dec_s3 : int array;
+  (* co-processor instruction pool: a ring of parallel arrays. Entries
+     are transmitted SVE instructions with scalar operands resolved at
+     transmit time (address generation happens in the scalar core,
+     §4.1.2). [p_head]/[p_tail] are absolute counters; the slot of
+     sequence [q] is [q land p_mask]. Occupancy is capped at [p_limit]
+     (= [Config.pool_capacity]); the ring capacity is the next power of
+     two. [p_dst] holds the destination vreg (source vreg for stores). *)
+  p_kind : int array;
+  p_dst : int array;
+  p_arr : int array;
+  p_base : int array;
+  p_elems : int array;
+  p_lat : int array;
+  p_s1 : int array;
+  p_s2 : int array;
+  p_s3 : int array;
+  p_mask : int;
+  p_limit : int;
+  mutable p_head : int;
+  mutable p_tail : int;
+  (* issue window: same ring scheme, capped at [Config.window].
+     [w_s1..w_s3] are *producer sequence numbers* (-1 = no dependence):
+     a producer below [w_head] has retired and is trivially ready.
+     [w_unissued] is the packed occupancy bitmask of not-yet-issued
+     slots — the dispatch scan sweeps it in insertion order. *)
+  w_kind : int array;
+  w_width : int array;  (* granules captured at rename *)
+  w_arr : int array;
+  w_base : int array;
+  w_elems : int array;
+  w_lat : int array;
+  w_s1 : int array;
+  w_s2 : int array;
+  w_s3 : int array;
+  w_done : int array;
+  w_mob : int array;    (* MOB slot handle once issued, -1 otherwise *)
+  (* dispatch ready-time heap: a binary min-heap of (ready cycle, slot)
+     over entries whose producers have all issued but whose latest
+     completion is still in the future. Such an entry's earliest issue
+     cycle is exact and fixed, so it leaves the sweep set and re-enters
+     when due — latency-blocked entries cost zero scan work meanwhile. *)
+  hp_rdy : int array;
+  hp_slot : int array;
+  mutable hp_n : int;
+  w_rdy : bool array;
+  (* FIFO (head, tail) of dep-ready loads parked while the load queue
+     was full, linked via [w_wnext] in sequence order; the retire stage
+     wakes as many as there are free slots, oldest first. Likewise for
+     stores. An entry parks here at most once (on the visit that first
+     finds its operands ready), so the list order is sequence order. *)
+  mutable lw_head : int;
+  mutable lw_tail : int;
+  mutable sw_head : int;
+  mutable sw_tail : int;
+      (* "operands known ready": set the first time an entry's producers
+         are all issued and complete; readiness is monotone, so later
+         visits (class-blocked entries re-probe every cycle) skip the
+         dependence derivation entirely. Reset on slot reuse. *)
+  w_scan : Bitset.t;
+  (* class-filtered subsets of [w_scan] ([_c] compute/dup, [_m] memory):
+     once a class's issue possibility resolves to "no" for the rest of a
+     core's dispatch pass, the sweep switches to the other class's
+     subset and stops visiting entries that could not issue anyway *)
+  w_scan_c : Bitset.t;
+  w_scan_m : Bitset.t;
+      (* the subset of [w_unissued] the dispatch sweep visits. An entry
+         whose producer has not issued leaves this set (parked on the
+         producer's waiter list below) and re-enters when the producer
+         issues, so dependence chains behind a stalled load are not
+         re-scanned every cycle. *)
+  w_wfirst : int array;  (* head of each slot's parked-waiter list, -1 *)
+  w_wnext : int array;   (* waiter list links, indexed by waiter slot *)
+  w_unissued : Bitset.t;
+  w_cap : int;
+  w_mask : int;
+  mutable w_head : int;
+  mutable w_tail : int;
+  vmap : int array;  (* arch vreg -> producer sequence number, -1 none *)
   freelist : Freelist.t;       (* per-core or shared, per architecture *)
   lsu : Lsu.t;
   mutable vl : int;            (* granules currently held *)
-  mutable owned_units : int list;
-      (* cached Dispatcher.Cfg view of this core's ExeBUs; refreshed only
-         when the assignment changes, so the per-cycle issue scan does
-         not rebuild it *)
+  owned_arr : int array;
+      (* cached Dispatcher.Cfg view of this core's ExeBUs (first
+         [owned_n] entries); refreshed only when the assignment changes,
+         so the per-cycle issue scan does not rebuild it *)
+  mutable owned_n : int;
   (* statistics *)
   mutable issued_compute : int;
   mutable issued_mem : int;
@@ -155,9 +238,23 @@ type t = {
   exebus : Exebu.t;
   lane_mgr : Lane_mgr.t option;  (* Occamy only *)
   rng : Rng.t;
-  all_units : int list;  (* every ExeBU id, for the shared-port archs *)
+  shares_ports : bool;  (* Arch.shares_issue_ports, hoisted *)
+  all_units_arr : int array;  (* every ExeBU id, for shared-port archs *)
+  mob_scratch : int array;    (* LSU-retire handoff buffer *)
+  inv_scratch : int array;    (* expected <VL> column for invariants *)
+  busy_lanes : float array;
+      (* [| busy_lane_cycles |]: a mutable float field in this mixed
+         record would box on every write; a float array cell does not *)
+  mutable hz_ev : int;  (* horizon-scan accumulator (closure-free) *)
+  (* per-scan dispatch capability cache (-1 unresolved, else 0/1): each
+     of "a compute / a load / a store could issue right now" is
+     entry-independent and only flips true->false when the scanning
+     core itself issues, so the scan resolves each at most once and
+     invalidates on an issue of that class. See {!try_issue}. *)
+  mutable sc_comp : int;
+  mutable sc_load : int;
+  mutable sc_store : int;
   mutable cycle : int;
-  mutable busy_lane_cycles : float;
   mutable replans : int;
   (* fast-forward bookkeeping (reported, never fed back into timing) *)
   mutable ff_skipped : int;  (* cycles advanced without stepping *)
@@ -196,6 +293,9 @@ let error fmt = Printf.ksprintf (fun s -> raise (Simulation_error s)) fmt
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let rec next_pow2_from acc n = if acc >= n then acc else next_pow2_from (acc * 2) n
+let next_pow2 n = next_pow2_from 1 n
+
 let make_core cfg arch ~shared_freelist id wl =
   let freelist =
     match shared_freelist with
@@ -206,6 +306,35 @@ let make_core cfg arch ~shared_freelist id wl =
         ~depth:cfg.Config.regblk_depth ~pinned:cfg.Config.arch_vregs
   in
   ignore arch;
+  let code = wl.Workload.program.Program.code in
+  let np = Array.length code in
+  let dec_lat = Array.make np 0 in
+  let dec_s1 = Array.make np (-1) in
+  let dec_s2 = Array.make np (-1) in
+  let dec_s3 = Array.make np (-1) in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Instr.Vop { op; srcs; _ } ->
+        dec_lat.(pc) <- Vop.latency op;
+        (match srcs with
+        | [] -> ()
+        | [ a ] -> dec_s1.(pc) <- Reg.v_index a
+        | [ a; b ] ->
+          dec_s1.(pc) <- Reg.v_index a;
+          dec_s2.(pc) <- Reg.v_index b
+        | [ a; b; c ] ->
+          dec_s1.(pc) <- Reg.v_index a;
+          dec_s2.(pc) <- Reg.v_index b;
+          dec_s3.(pc) <- Reg.v_index c
+        | _ ->
+          invalid_arg
+            (Printf.sprintf "Sim: core%d Vop at pc=%d has more than 3 sources"
+               id pc))
+      | _ -> ())
+    code;
+  let p_cap = next_pow2 cfg.Config.pool_capacity in
+  let w_cap = next_pow2 cfg.Config.window in
   {
     id;
     wl;
@@ -215,26 +344,70 @@ let make_core cfg arch ~shared_freelist id wl =
     fregs = Array.make Reg.num_f 0.0;
     halted = false;
     finish = 0;
-    pending_vl = None;
+    pending_vl = -1;
     pending_red = false;
     cs_state = Cs_running;
     cs_schedule = [];
     cur_level = Occamy_mem.Level.Vec_cache;
-    pool = Occamy_util.Bounded_queue.create ~capacity:cfg.Config.pool_capacity;
-    vop_srcs =
-      Array.map
-        (function
-          | Instr.Vop { srcs; _ } -> List.map Reg.v_index srcs
-          | _ -> [])
-        wl.Workload.program.Program.code;
-    rob = Queue.create ();
-    vmap = Array.make Reg.num_v None;
+    fe_budget = 0;
+    fe_tbudget = 0;
+    fe_monitor = false;
+    fe_cont = false;
+    fe_next = 0;
+    dec_lat;
+    dec_s1;
+    dec_s2;
+    dec_s3;
+    p_kind = Array.make p_cap 0;
+    p_dst = Array.make p_cap 0;
+    p_arr = Array.make p_cap 0;
+    p_base = Array.make p_cap 0;
+    p_elems = Array.make p_cap 0;
+    p_lat = Array.make p_cap 0;
+    p_s1 = Array.make p_cap (-1);
+    p_s2 = Array.make p_cap (-1);
+    p_s3 = Array.make p_cap (-1);
+    p_mask = p_cap - 1;
+    p_limit = cfg.Config.pool_capacity;
+    p_head = 0;
+    p_tail = 0;
+    w_kind = Array.make w_cap 0;
+    w_width = Array.make w_cap 0;
+    w_arr = Array.make w_cap 0;
+    w_base = Array.make w_cap 0;
+    w_elems = Array.make w_cap 0;
+    w_lat = Array.make w_cap 0;
+    w_s1 = Array.make w_cap (-1);
+    w_s2 = Array.make w_cap (-1);
+    w_s3 = Array.make w_cap (-1);
+    w_done = Array.make w_cap max_int;
+    w_mob = Array.make w_cap (-1);
+    hp_rdy = Array.make w_cap 0;
+    hp_slot = Array.make w_cap 0;
+    hp_n = 0;
+    w_rdy = Array.make w_cap false;
+    lw_head = -1;
+    lw_tail = -1;
+    sw_head = -1;
+    sw_tail = -1;
+    w_scan = Bitset.create w_cap;
+    w_scan_c = Bitset.create w_cap;
+    w_scan_m = Bitset.create w_cap;
+    w_wfirst = Array.make w_cap (-1);
+    w_wnext = Array.make w_cap (-1);
+    w_unissued = Bitset.create w_cap;
+    w_cap;
+    w_mask = w_cap - 1;
+    w_head = 0;
+    w_tail = 0;
+    vmap = Array.make Reg.num_v (-1);
     freelist;
     lsu =
       Lsu.create ~load_capacity:cfg.Config.lsu_load_capacity
         ~store_capacity:cfg.Config.lsu_store_capacity ();
     vl = 0;
-    owned_units = [];
+    owned_arr = Array.make cfg.Config.exebus 0;
+    owned_n = 0;
     issued_compute = 0;
     issued_mem = 0;
     rename_stalls = 0;
@@ -365,9 +538,17 @@ let create ?(cfg = Config.default) ?(trace = Trace.disabled)
     exebus = Exebu.create ~units:cfg.exebus ~pipes_per_unit:cfg.pipes_per_exebu;
     lane_mgr;
     rng = Rng.create ~seed:cfg.seed;
-    all_units = List.init cfg.exebus Fun.id;
+    shares_ports = Arch.shares_issue_ports arch;
+    all_units_arr = Array.init cfg.exebus Fun.id;
+    mob_scratch =
+      Array.make (cfg.lsu_load_capacity + cfg.lsu_store_capacity) (-1);
+    inv_scratch = Array.make cfg.cores 0;
+    busy_lanes = [| 0.0 |];
+    hz_ev = max_int;
+    sc_comp = -1;
+    sc_load = -1;
+    sc_store = -1;
     cycle = 0;
-    busy_lane_cycles = 0.0;
     replans = (match arch with Arch.Vls -> 1 | _ -> 0);
     ff_skipped = 0;
     ff_jumps = 0;
@@ -383,14 +564,17 @@ let create ?(cfg = Config.default) ?(trace = Trace.disabled)
     obs_req_cycle = Array.make cfg.cores (-1);
   }
 
-let domain t core = if Arch.shares_issue_ports t.arch then 0 else core
+let[@inline] domain t core = if t.shares_ports then 0 else core
 
-(* Re-derive the cached ExeBU ownership list; must be called after every
+let[@inline] cs_is_running c =
+  match c.cs_state with Cs_running -> true | _ -> false
+
+(* Re-derive the cached ExeBU ownership array; must be called after every
    Dispatcher.Cfg change for [c] (reconfiguration grants and
    context-switch releases). [reassign] never touches other cores'
    units, so only the reconfigured core needs refreshing. *)
 let refresh_owned_units t c =
-  c.owned_units <- Config_tbl.owned_by t.exebu_cfg ~core:c.id
+  c.owned_n <- Config_tbl.owned_into t.exebu_cfg ~core:c.id c.owned_arr
 
 (* ------------------------------------------------------------------ *)
 (* Trace recording                                                     *)
@@ -436,10 +620,8 @@ let trace_end_stall_episode t (c : core_state) ~upto =
 (* Drain / reconfiguration                                             *)
 (* ------------------------------------------------------------------ *)
 
-let pipeline_drained c =
-  Occamy_util.Bounded_queue.is_empty c.pool
-  && Queue.is_empty c.rob
-  && Lsu.is_drained c.lsu
+let[@inline] pipeline_drained c =
+  c.p_head = c.p_tail && c.w_head = c.w_tail && Lsu.is_drained c.lsu
 
 (* Grant or refuse a pending MSR <VL>. Caller guarantees the drain. *)
 let resolve_vl_request t c l =
@@ -482,7 +664,7 @@ let resolve_vl_request t c l =
         trace_core t c
           (Event.Vl_deny { core = c.id; requested = l; al = Rtbl.al t.rtbl })
     end);
-  c.pending_vl <- None
+  c.pending_vl <- -1
 
 (* Status as read by MRS <status>: for FTS requests always succeed. *)
 let read_status t c =
@@ -611,33 +793,53 @@ let cond_holds cond a b =
   | Instr.Gt -> a > b
   | Instr.Ge -> a >= b
 
-(* Transmit one SVE instruction into the pool; element counts and base
-   addresses are resolved here from the scalar registers. *)
+let[@inline] elems_of c cnt =
+  match cnt with
+  | None -> Lane.elems_of_granules c.vl
+  | Some (Reg.X i) -> min c.xregs.(i) (Lane.elems_of_granules c.vl)
+
+(* Transmit one SVE instruction into the pool ring; element counts and
+   base addresses are resolved here from the scalar registers. Returns
+   [false] when the pool is full (the front-end stalls in place). *)
 let transmit c instr =
-  let elems_of cnt =
-    match cnt with
-    | None -> Lane.elems_of_granules c.vl
-    | Some (Reg.X i) -> min c.xregs.(i) (Lane.elems_of_granules c.vl)
-  in
-  let pe =
-    match instr with
+  if c.p_tail - c.p_head >= c.p_limit then false
+  else begin
+    let ps = c.p_tail land c.p_mask in
+    (match instr with
     | Instr.Vload { dst; arr; idx = Reg.X xi; cnt } ->
-      Pload { dst = Reg.v_index dst; arr; base = c.xregs.(xi); elems = elems_of cnt }
+      c.p_kind.(ps) <- k_load;
+      c.p_dst.(ps) <- Reg.v_index dst;
+      c.p_arr.(ps) <- arr;
+      c.p_base.(ps) <- c.xregs.(xi);
+      c.p_elems.(ps) <- elems_of c cnt
     | Instr.Vstore { src; arr; idx = Reg.X xi; cnt } ->
-      Pstore { src = Reg.v_index src; arr; base = c.xregs.(xi); elems = elems_of cnt }
-    | Instr.Vop { op; dst; srcs = _; cnt = _ } ->
-      (* [c.pc] still points at this instruction; reuse its decoded
-         source list instead of allocating one per transmit. *)
-      Pcompute { op; dst = Reg.v_index dst; srcs = c.vop_srcs.(c.pc) }
-    | Instr.Vdup (dst, _) -> Pdup { dst = Reg.v_index dst }
-    | _ -> error "transmit: not an SVE instruction"
-  in
-  Occamy_util.Bounded_queue.push c.pool pe
+      c.p_kind.(ps) <- k_store;
+      c.p_dst.(ps) <- Reg.v_index src;
+      c.p_arr.(ps) <- arr;
+      c.p_base.(ps) <- c.xregs.(xi);
+      c.p_elems.(ps) <- elems_of c cnt
+    | Instr.Vop { dst; _ } ->
+      (* [c.pc] still points at this instruction; reuse its pre-decoded
+         latency and source indices instead of re-decoding. *)
+      c.p_kind.(ps) <- k_compute;
+      c.p_dst.(ps) <- Reg.v_index dst;
+      c.p_lat.(ps) <- c.dec_lat.(c.pc);
+      c.p_s1.(ps) <- c.dec_s1.(c.pc);
+      c.p_s2.(ps) <- c.dec_s2.(c.pc);
+      c.p_s3.(ps) <- c.dec_s3.(c.pc)
+    | Instr.Vdup (dst, _) ->
+      c.p_kind.(ps) <- k_dup;
+      c.p_dst.(ps) <- Reg.v_index dst;
+      c.p_lat.(ps) <- 3
+    | _ -> error "transmit: not an SVE instruction");
+    c.p_tail <- c.p_tail + 1;
+    true
+  end
 
 let step_frontend t c =
-  if c.cs_state <> Cs_running then ()
+  if not (cs_is_running c) then ()
   else if c.halted then ()
-  else if c.pending_vl <> None then
+  else if c.pending_vl >= 0 then
     c.blocked_vl_cycles <- c.blocked_vl_cycles + 1
   else if c.pending_red then begin
     (* Vred waits for the core's pipeline to drain (the reduction reads
@@ -645,31 +847,35 @@ let step_frontend t c =
     if pipeline_drained c then c.pending_red <- false
   end;
   if
-    c.cs_state <> Cs_running || c.halted || c.pending_vl <> None
+    (not (cs_is_running c)) || c.halted || c.pending_vl >= 0
     || c.pending_red
   then ()
   else begin
     (* The 8-issue scalar core executes scalar instructions and, in
        parallel, transmits up to [transmit_width] SVE/EM-SIMD instructions
        per cycle to the co-processor (Figure 5); the two budgets are
-       independent. *)
-    let budget = ref t.cfg.frontend_width in
-    let transmit_budget = ref t.cfg.transmit_width in
-    let saw_monitor = ref false in
-    let continue_ = ref true in
+       independent. Budgets live in mutable core fields, not refs. *)
+    c.fe_budget <- t.cfg.frontend_width;
+    c.fe_tbudget <- t.cfg.transmit_width;
+    c.fe_monitor <- false;
+    c.fe_cont <- true;
     let code = c.wl.Workload.program.Program.code in
     let targets = c.wl.Workload.program.Program.targets in
-    while !continue_ && !budget > 0 && not c.halted do
+    while c.fe_cont && c.fe_budget > 0 && not c.halted do
       if c.pc >= Array.length code then begin
         c.halted <- true;
         c.finish <- t.cycle
       end
       else begin
         let instr = code.(c.pc) in
-        let next = ref (c.pc + 1) in
+        c.fe_next <- c.pc + 1;
         (match instr with
-        | Instr.Li (Reg.X d, imm) -> c.xregs.(d) <- imm; decr budget
-        | Instr.Mov (Reg.X d, Reg.X s) -> c.xregs.(d) <- c.xregs.(s); decr budget
+        | Instr.Li (Reg.X d, imm) ->
+          c.xregs.(d) <- imm;
+          c.fe_budget <- c.fe_budget - 1
+        | Instr.Mov (Reg.X d, Reg.X s) ->
+          c.xregs.(d) <- c.xregs.(s);
+          c.fe_budget <- c.fe_budget - 1
         | Instr.Iop (op, Reg.X d, Reg.X s, src) ->
           let a = c.xregs.(s) and b = eval_src c src in
           c.xregs.(d) <-
@@ -679,8 +885,10 @@ let step_frontend t c =
             | Instr.Muli -> a * b
             | Instr.Mini -> min a b
             | Instr.Maxi -> max a b);
-          decr budget
-        | Instr.Fli (Reg.F d, v) -> c.fregs.(d) <- v; decr budget
+          c.fe_budget <- c.fe_budget - 1
+        | Instr.Fli (Reg.F d, v) ->
+          c.fregs.(d) <- v;
+          c.fe_budget <- c.fe_budget - 1
         | Instr.Fop (op, Reg.F d, Reg.F a, Reg.F b) ->
           let x = c.fregs.(a) and y = c.fregs.(b) in
           c.fregs.(d) <-
@@ -689,7 +897,7 @@ let step_frontend t c =
             | Instr.Fsub -> x -. y
             | Instr.Fmul -> x *. y
             | Instr.Fdiv -> x /. y);
-          decr budget
+          c.fe_budget <- c.fe_budget - 1
         | Instr.Fvop (op, Reg.F d, srcs) ->
           (* Scalar FP executes in the scalar core's own FP unit; the data
              values do not affect timing-relevant control flow.
@@ -702,23 +910,25 @@ let step_frontend t c =
             | [ Reg.F a; Reg.F b; Reg.F cc ] ->
               Vop.apply3 op c.fregs.(a) c.fregs.(b) c.fregs.(cc)
             | _ -> error "core%d: %s.s arity mismatch" c.id (Vop.name op));
-          decr budget
+          c.fe_budget <- c.fe_budget - 1
         | Instr.Flw { fdst = Reg.F d; _ } ->
           (* Scalar loads go through the core's private L1 (Table 4); a
              multi-version scalar loop only runs for tiny trip counts, so
              a fixed 1-slot cost suffices. *)
           c.fregs.(d) <- 0.0;
-          decr budget
-        | Instr.Fsw _ -> decr budget
-        | Instr.B _ -> next := targets.(c.pc); decr budget
+          c.fe_budget <- c.fe_budget - 1
+        | Instr.Fsw _ -> c.fe_budget <- c.fe_budget - 1
+        | Instr.B _ ->
+          c.fe_next <- targets.(c.pc);
+          c.fe_budget <- c.fe_budget - 1
         | Instr.Bc (cond, Reg.X r, src, _) ->
           if cond_holds cond c.xregs.(r) (eval_src c src) then
-            next := targets.(c.pc);
-          decr budget
+            c.fe_next <- targets.(c.pc);
+          c.fe_budget <- c.fe_budget - 1
         | Instr.Halt ->
           c.halted <- true;
           c.finish <- t.cycle;
-          decr budget
+          c.fe_budget <- c.fe_budget - 1
         | Instr.Mrs (Reg.X d, sr) ->
           (match sr with
           | Sysreg.VL | Sysreg.ZCR -> c.xregs.(d) <- c.vl
@@ -726,10 +936,10 @@ let step_frontend t c =
           | Sysreg.DECISION ->
             c.xregs.(d) <- read_decision t c;
             c.monitor_instrs <- c.monitor_instrs + 1;
-            saw_monitor := true
+            c.fe_monitor <- true
           | Sysreg.AL -> c.xregs.(d) <- read_al t
           | Sysreg.OI -> c.xregs.(d) <- 0);
-          decr budget
+          c.fe_budget <- c.fe_budget - 1
         | Instr.Msr_oi oi ->
           if Prof.sampled t.prof then begin
             Prof.enter t.prof Prof.Replan;
@@ -737,17 +947,17 @@ let step_frontend t c =
             Prof.exit t.prof
           end
           else handle_oi_write t c oi;
-          decr budget
+          c.fe_budget <- c.fe_budget - 1
         | Instr.Msr (Sysreg.VL, src) ->
           let l = eval_src c src in
           if l < 0 || l > t.cfg.exebus then error "core%d: MSR <VL> %d" c.id l;
-          c.pending_vl <- Some l;
+          c.pending_vl <- l;
           if tracing t then begin
             trace_core t c (Event.Vl_request { core = c.id; requested = l });
             t.obs_req_cycle.(c.id) <- t.cycle
           end;
-          decr budget;
-          continue_ := false
+          c.fe_budget <- c.fe_budget - 1;
+          c.fe_cont <- false
         | Instr.Msr (sr, _) ->
           error "core%d: MSR %s not writable" c.id (Sysreg.name sr)
         | Instr.Vred { dst = Reg.F d; _ } ->
@@ -755,26 +965,26 @@ let step_frontend t c =
              block for the drain (its real cost) and yield zero. *)
           c.fregs.(d) <- 0.0;
           c.pending_red <- true;
-          decr budget;
-          continue_ := false
+          c.fe_budget <- c.fe_budget - 1;
+          c.fe_cont <- false
         | Instr.Vload _ | Instr.Vstore _ | Instr.Vop _ | Instr.Vdup _ ->
           if c.vl <= 0 then
             error "core%d: SVE instruction with <VL>=0 at pc=%d" c.id c.pc;
-          if !transmit_budget = 0 then continue_ := false
-          else if transmit c instr then decr transmit_budget
-          else continue_ := false);
-        if !continue_ && not c.halted then c.pc <- !next
+          if c.fe_tbudget = 0 then c.fe_cont <- false
+          else if transmit c instr then c.fe_tbudget <- c.fe_tbudget - 1
+          else c.fe_cont <- false);
+        if c.fe_cont && not c.halted then c.pc <- c.fe_next
         else if c.halted then ()
-        else if c.pending_vl <> None || c.pending_red then c.pc <- !next
+        else if c.pending_vl >= 0 || c.pending_red then c.pc <- c.fe_next
       end
     done;
-    if !budget = 0 && !saw_monitor then
+    if c.fe_budget = 0 && c.fe_monitor then
       c.monitor_stall_cycles <- c.monitor_stall_cycles + 1;
-    (* Transmits do not consume [budget], so both budgets decide whether
-       the front-end did anything this cycle. *)
+    (* Transmits do not consume [fe_budget], so both budgets decide
+       whether the front-end did anything this cycle. *)
     if
-      !budget < t.cfg.frontend_width
-      || !transmit_budget < t.cfg.transmit_width
+      c.fe_budget < t.cfg.frontend_width
+      || c.fe_tbudget < t.cfg.transmit_width
     then t.work_cycle <- t.cycle
   end
 
@@ -782,116 +992,232 @@ let step_frontend t c =
 (* Rename (in order, bounded by freelist and window)                   *)
 (* ------------------------------------------------------------------ *)
 
-let rename t c =
-  if c.halted && Occamy_util.Bounded_queue.is_empty c.pool then ()
+(* Keep the class-filtered sweep subsets in lock-step with [w_scan]. *)
+let[@inline] scan_add c slot =
+  Bitset.add c.w_scan slot;
+  if c.w_kind.(slot) >= k_compute then Bitset.add c.w_scan_c slot
+  else Bitset.add c.w_scan_m slot
+
+let[@inline] scan_remove c slot =
+  Bitset.remove c.w_scan slot;
+  if c.w_kind.(slot) >= k_compute then Bitset.remove c.w_scan_c slot
+  else Bitset.remove c.w_scan_m slot
+
+let rec rename_loop t c renamed =
+  if
+    renamed >= t.cfg.rename_width
+    || c.p_head = c.p_tail
+    || c.w_tail - c.w_head >= t.cfg.window
+  then renamed
   else begin
-    let renamed = ref 0 in
-    let stalled = ref false in
-    while
-      !renamed < t.cfg.rename_width
-      && (not !stalled)
-      && Occamy_util.Bounded_queue.length c.pool > 0
-      && Queue.length c.rob < t.cfg.window
-    do
-      let pe = Occamy_util.Bounded_queue.peek c.pool in
-      let needs_row =
-        match pe with
-        | Pload _ | Pcompute _ | Pdup _ -> true
-        | Pstore _ -> false
-      in
-      if needs_row && not (Freelist.alloc c.freelist) then begin
-        stalled := true;
-        c.rename_stalls <- c.rename_stalls + 1;
-        match c.cur_phase with
-        | Some pa -> pa.pa_stalls <- pa.pa_stalls + 1
-        | None -> ()
+    let ps = c.p_head land c.p_mask in
+    let kind = c.p_kind.(ps) in
+    (* Loads, computes and dups hold a physical register row until
+       commit; stores do not. *)
+    if kind <> k_store && not (Freelist.alloc c.freelist) then begin
+      c.rename_stalls <- c.rename_stalls + 1;
+      (match c.cur_phase with
+      | Some pa -> pa.pa_stalls <- pa.pa_stalls + 1
+      | None -> ());
+      renamed
+    end
+    else begin
+      c.p_head <- c.p_head + 1;
+      let slot = c.w_tail land c.w_mask in
+      c.w_kind.(slot) <- kind;
+      c.w_width.(slot) <- (if t.shares_ports then t.cfg.exebus else c.vl);
+      c.w_arr.(slot) <- c.p_arr.(ps);
+      c.w_base.(slot) <- c.p_base.(ps);
+      c.w_elems.(slot) <- c.p_elems.(ps);
+      c.w_lat.(slot) <- c.p_lat.(ps);
+      c.w_done.(slot) <- max_int;
+      c.w_mob.(slot) <- -1;
+      c.w_wfirst.(slot) <- -1;
+      c.w_rdy.(slot) <- false;
+      if kind = k_store then begin
+        (* A store waits on the last producer of the stored register. *)
+        c.w_s1.(slot) <- c.vmap.(c.p_dst.(ps));
+        c.w_s2.(slot) <- -1;
+        c.w_s3.(slot) <- -1
+      end
+      else if kind = k_compute then begin
+        let s1 = c.p_s1.(ps) and s2 = c.p_s2.(ps) and s3 = c.p_s3.(ps) in
+        c.w_s1.(slot) <- (if s1 >= 0 then c.vmap.(s1) else -1);
+        c.w_s2.(slot) <- (if s2 >= 0 then c.vmap.(s2) else -1);
+        c.w_s3.(slot) <- (if s3 >= 0 then c.vmap.(s3) else -1);
+        c.vmap.(c.p_dst.(ps)) <- c.w_tail
       end
       else begin
-        ignore (Occamy_util.Bounded_queue.pop c.pool);
-        let width =
-          if Arch.shares_issue_ports t.arch then t.cfg.exebus else c.vl
-        in
-        let entry =
-          match pe with
-          | Pload { dst; arr; base; elems } ->
-            let e =
-              {
-                kind = Kload;
-                width;
-                arr;
-                base;
-                elems;
-                srcs = [];
-                has_row = true;
-                issued = false;
-                done_at = max_int;
-                mob_id = None;
-              }
-            in
-            c.vmap.(dst) <- Some e;
-            e
-          | Pstore { src; arr; base; elems } ->
-            {
-              kind = Kstore;
-              width;
-              arr;
-              base;
-              elems;
-              srcs = Option.to_list c.vmap.(src);
-              has_row = false;
-              issued = false;
-              done_at = max_int;
-              mob_id = None;
-            }
-          | Pcompute { op; dst; srcs } ->
-            let deps = List.filter_map (fun s -> c.vmap.(s)) srcs in
-            let e =
-              {
-                kind = Kcompute op;
-                width;
-                arr = -1;
-                base = 0;
-                elems = 0;
-                srcs = deps;
-                has_row = true;
-                issued = false;
-                done_at = max_int;
-                mob_id = None;
-              }
-            in
-            c.vmap.(dst) <- Some e;
-            e
-          | Pdup { dst } ->
-            let e =
-              {
-                kind = Kdup;
-                width;
-                arr = -1;
-                base = 0;
-                elems = 0;
-                srcs = [];
-                has_row = true;
-                issued = false;
-                done_at = max_int;
-                mob_id = None;
-              }
-            in
-            c.vmap.(dst) <- Some e;
-            e
-        in
-        Queue.push entry c.rob;
-        incr renamed
-      end
-    done;
-    if !renamed > 0 then t.work_cycle <- t.cycle
+        (* Loads and dups have no vector producers. *)
+        c.w_s1.(slot) <- -1;
+        c.w_s2.(slot) <- -1;
+        c.w_s3.(slot) <- -1;
+        c.vmap.(c.p_dst.(ps)) <- c.w_tail
+      end;
+      Bitset.add c.w_unissued slot;
+      scan_add c slot;
+      c.w_tail <- c.w_tail + 1;
+      rename_loop t c (renamed + 1)
+    end
   end
+
+let rename t c =
+  if c.halted && c.p_head = c.p_tail then ()
+  else if rename_loop t c 0 > 0 then t.work_cycle <- t.cycle
 
 (* ------------------------------------------------------------------ *)
 (* Issue (out of order within the window)                              *)
 (* ------------------------------------------------------------------ *)
 
-let entry_ready now e =
-  List.for_all (fun p -> p.issued && p.done_at <= now) e.srcs
+(* A producer below [w_head] has retired: its completion is in the past
+   by construction (entries retire only once [done_at <= cycle]), so it
+   is trivially ready — the dense arrays never need clearing. *)
+let[@inline] dep_issued c d =
+  d < c.w_head || not (Bitset.mem c.w_unissued (d land c.w_mask))
+
+(* Completion cycle of an *issued* producer; a retired one completed in
+   the past, so 0 preserves [max]-over-producers exactly. *)
+let[@inline] dep_done_at c d =
+  if d < c.w_head then 0 else c.w_done.(d land c.w_mask)
+
+(* First producer of [slot] that has not issued yet, -1 if none. *)
+let[@inline] first_unissued c slot =
+  let d1 = c.w_s1.(slot) in
+  if not (dep_issued c d1) then d1
+  else
+    let d2 = c.w_s2.(slot) in
+    if not (dep_issued c d2) then d2
+    else
+      let d3 = c.w_s3.(slot) in
+      if not (dep_issued c d3) then d3 else -1
+
+(* Park [slot] until producer [d] issues: it leaves the sweep set and
+   joins the producer's waiter list. Sound because the producer cannot
+   complete (or retire) without issuing, and {!wake_waiters} runs at
+   that issue. *)
+let[@inline] park c slot d =
+  let ps = d land c.w_mask in
+  c.w_wnext.(slot) <- c.w_wfirst.(ps);
+  c.w_wfirst.(ps) <- slot;
+  scan_remove c slot
+
+(* Re-admit [slot]'s parked waiters to the sweep set at its issue. A
+   waiter always sits later in ring order than its producer, so a
+   waiter woken mid-sweep is still visited this very cycle — exactly
+   when the naive rescanning dispatch would have reconsidered it. *)
+let rec wake_list c w =
+  if w >= 0 then begin
+    let nxt = c.w_wnext.(w) in
+    scan_add c w;
+    c.w_wnext.(w) <- -1;
+    wake_list c nxt
+  end
+
+let[@inline] wake_waiters c slot =
+  let w = c.w_wfirst.(slot) in
+  if w >= 0 then begin
+    c.w_wfirst.(slot) <- -1;
+    wake_list c w
+  end
+
+(* Park a dep-ready memory entry whose LSU direction is full: space can
+   only appear at a retire, so re-probing every cycle is wasted work.
+   The retire stage precedes dispatch within a cycle and wakes one
+   parked entry per free slot, oldest first, so a parked entry returns
+   to the sweep set no later than the cycle the rescanning dispatch
+   would have accepted it (a woken entry that loses the slot to budget
+   arbitration simply stays in the sweep set until it issues). Reuses
+   [w_wnext]: an entry is on at most one of the producer/space lists. *)
+let[@inline] park_space c slot ~is_store =
+  c.w_wnext.(slot) <- -1;
+  if is_store then begin
+    if c.sw_tail >= 0 then c.w_wnext.(c.sw_tail) <- slot
+    else c.sw_head <- slot;
+    c.sw_tail <- slot
+  end
+  else begin
+    if c.lw_tail >= 0 then c.w_wnext.(c.lw_tail) <- slot
+    else c.lw_head <- slot;
+    c.lw_tail <- slot
+  end;
+  Bitset.remove c.w_scan slot;
+  Bitset.remove c.w_scan_m slot
+
+(* Wake up to [n] space-parked entries (oldest first) of one direction. *)
+let rec wake_space_loads c n =
+  if n > 0 && c.lw_head >= 0 then begin
+    let w = c.lw_head in
+    c.lw_head <- c.w_wnext.(w);
+    if c.lw_head < 0 then c.lw_tail <- -1;
+    c.w_wnext.(w) <- -1;
+    Bitset.add c.w_scan w;
+    Bitset.add c.w_scan_m w;
+    wake_space_loads c (n - 1)
+  end
+
+let rec wake_space_stores c n =
+  if n > 0 && c.sw_head >= 0 then begin
+    let w = c.sw_head in
+    c.sw_head <- c.w_wnext.(w);
+    if c.sw_head < 0 then c.sw_tail <- -1;
+    c.w_wnext.(w) <- -1;
+    Bitset.add c.w_scan w;
+    Bitset.add c.w_scan_m w;
+    wake_space_stores c (n - 1)
+  end
+
+(* Ready-time min-heap over (hp_rdy, hp_slot); classic array heap in
+   preallocated ints, so parking a latency-blocked entry allocates
+   nothing. *)
+let rec heap_sift_up c i =
+  if i > 0 then begin
+    let p = (i - 1) asr 1 in
+    if c.hp_rdy.(p) > c.hp_rdy.(i) then begin
+      let r = c.hp_rdy.(p) and sl = c.hp_slot.(p) in
+      c.hp_rdy.(p) <- c.hp_rdy.(i);
+      c.hp_slot.(p) <- c.hp_slot.(i);
+      c.hp_rdy.(i) <- r;
+      c.hp_slot.(i) <- sl;
+      heap_sift_up c p
+    end
+  end
+
+let[@inline] heap_push c ~rdy ~slot =
+  let i = c.hp_n in
+  c.hp_n <- i + 1;
+  c.hp_rdy.(i) <- rdy;
+  c.hp_slot.(i) <- slot;
+  heap_sift_up c i
+
+let rec heap_sift_down c i =
+  let l = (2 * i) + 1 in
+  if l < c.hp_n then begin
+    let m =
+      if l + 1 < c.hp_n && c.hp_rdy.(l + 1) < c.hp_rdy.(l) then l + 1 else l
+    in
+    if c.hp_rdy.(m) < c.hp_rdy.(i) then begin
+      let r = c.hp_rdy.(m) and sl = c.hp_slot.(m) in
+      c.hp_rdy.(m) <- c.hp_rdy.(i);
+      c.hp_slot.(m) <- c.hp_slot.(i);
+      c.hp_rdy.(i) <- r;
+      c.hp_slot.(i) <- sl;
+      heap_sift_down c m
+    end
+  end
+
+(* Re-admit every entry whose ready cycle has arrived to the sweep set
+   (fast-forward may land many cycles later; the heap drains all due
+   entries at once). *)
+let rec heap_release_due c now =
+  if c.hp_n > 0 && c.hp_rdy.(0) <= now then begin
+    scan_add c c.hp_slot.(0);
+    c.w_rdy.(c.hp_slot.(0)) <- true;
+    c.hp_n <- c.hp_n - 1;
+    c.hp_rdy.(0) <- c.hp_rdy.(c.hp_n);
+    c.hp_slot.(0) <- c.hp_slot.(c.hp_n);
+    heap_sift_down c 0;
+    heap_release_due c now
+  end
 
 let record_compute_issue t c width =
   if Prof.sampled t.prof then Prof.enter t.prof Prof.Exe_apply;
@@ -902,13 +1228,14 @@ let record_compute_issue t c width =
   | None -> ());
   (* Busy-lane accounting for the §2 utilisation metric: a compute
      instruction of [width] granules keeps [width*4] lanes busy for one of
-     the data path's [pipes] issue slots. *)
-  let lanes =
-    float_of_int (width * Lane.f32_per_granule)
-    /. float_of_int t.cfg.pipes_per_exebu
-  in
-  t.busy_lane_cycles <- t.busy_lane_cycles +. lanes;
-  Buckets.add c.lanes_buckets ~cycle:t.cycle lanes;
+     the data path's [pipes] issue slots. The division stays in-module
+     (unboxed local) and crosses into the buckets as two ints — a float
+     argument would box at the non-inlined call. *)
+  let num = width * Lane.f32_per_granule in
+  let den = t.cfg.pipes_per_exebu in
+  t.busy_lanes.(0) <-
+    t.busy_lanes.(0) +. (float_of_int num /. float_of_int den);
+  Buckets.add_ratio c.lanes_buckets ~cycle:t.cycle ~num ~den;
   if Prof.sampled t.prof then Prof.exit t.prof
 
 let record_mem_issue t c =
@@ -922,139 +1249,279 @@ let record_mem_issue t c =
 
 exception Ports_exhausted
 
-let rec issue_core t c =
-  let dom = domain t c.id in
-  let owned_units =
-    if Arch.shares_issue_ports t.arch then t.all_units else c.owned_units
-  in
-  try issue_core_scan t c ~dom ~owned_units
-  with Ports_exhausted -> ()
+(* Lazily resolved per-scan capability tests. Both predicates are
+   entry-independent, and within one core's scan they only flip
+   true->false at an issue *by that core* (other cores' scans already
+   ran this cycle; LSU retires happen in an earlier stage). So each is
+   evaluated at most once per scan — the cache is invalidated after an
+   issue of the matching class — and the per-entry test reduces to one
+   flag check. Beyond cost, [Ports_exhausted] fires as soon as all
+   three resolve to false, which the budget-only test cannot see when
+   e.g. a full LSU rejects every load without consuming budget. The
+   entries selected for issue are exactly those of the naive re-probing
+   scan; only the [Exebu.issue_checks] observability counter (probe
+   count) changes. *)
+let[@inline] comp_possible t ~dom ~units ~n =
+  t.sc_comp = 1
+  || (t.sc_comp < 0
+      &&
+      let ok =
+        t.compute_budget.(dom) > 0
+        && Exebu.can_issue_arr t.exebus ~unit_ids:units ~n
+      in
+      t.sc_comp <- Bool.to_int ok;
+      ok)
 
-and issue_core_scan t c ~dom ~owned_units =
-  Queue.iter
-    (fun e ->
-      if t.compute_budget.(dom) = 0 && t.mem_budget.(dom) = 0 then
-        raise_notrace Ports_exhausted;
-      if (not e.issued) && entry_ready t.cycle e then begin
-        match e.kind with
-        | Kcompute op ->
-          if
-            t.compute_budget.(dom) > 0
-            && Exebu.can_issue t.exebus ~unit_ids:owned_units
-          then begin
-            t.compute_budget.(dom) <- t.compute_budget.(dom) - 1;
-            Exebu.issue t.exebus ~unit_ids:owned_units;
-            e.issued <- true;
-            e.done_at <- t.cycle + Vop.latency op;
-            record_compute_issue t c e.width
-          end
-        | Kdup ->
-          if
-            t.compute_budget.(dom) > 0
-            && Exebu.can_issue t.exebus ~unit_ids:owned_units
-          then begin
-            t.compute_budget.(dom) <- t.compute_budget.(dom) - 1;
-            Exebu.issue t.exebus ~unit_ids:owned_units;
-            e.issued <- true;
-            e.done_at <- t.cycle + 3;
-            record_compute_issue t c e.width
-          end
-        | Kload | Kstore ->
-          let is_store = e.kind = Kstore in
-          if
-            t.mem_budget.(dom) > 0
-            && Lsu.can_accept c.lsu ~is_store
-            && (not (Mob.is_full t.mob))
-            && not
-                 (Mob.conflicts t.mob ~arr:e.arr ~base:e.base ~len:e.elems
-                    ~is_store)
-          then begin
-            t.mem_budget.(dom) <- t.mem_budget.(dom) - 1;
-            let level =
-              Profile.classify (Workload.profile_of_array c.wl e.arr) t.rng
-            in
-            let bytes = e.elems * 4 in
-            (* Unit-stride vector loads are the stream prefetcher's best
-               case; stores are buffered anyway so their observed latency
-               does not matter. *)
-            let done_at =
-              Hierarchy.access t.hierarchy ~prefetched:t.cfg.prefetch
-                ~now:t.cycle ~level ~bytes
-            in
-            let mob_id =
-              Mob.insert t.mob ~core:c.id ~arr:e.arr ~base:e.base ~len:e.elems
-                ~is_store
-            in
-            Lsu.add c.lsu ~done_at ~is_store ~mob_id;
-            e.issued <- true;
-            (* Senior stores: a store leaves the window at issue (its data
-               is in the store queue); the LSU/MOB keep tracking it until
-               the memory system completes it, so drains and ordering
-               still see it. Loads hold their window slot (and register
-               row) until the data returns. *)
-            e.done_at <- (if is_store then t.cycle else done_at);
-            e.mob_id <- mob_id;
-            record_mem_issue t c
-          end
-      end)
-    c.rob
+let[@inline] mem_possible t c ~dom ~is_store =
+  let cached = if is_store then t.sc_store else t.sc_load in
+  cached = 1
+  || (cached < 0
+      &&
+      let ok =
+        t.mem_budget.(dom) > 0
+        && Lsu.can_accept c.lsu ~is_store
+        && not (Mob.is_full t.mob)
+      in
+      (if is_store then t.sc_store <- Bool.to_int ok
+       else t.sc_load <- Bool.to_int ok);
+      ok)
+
+let attempt_issue t c ~dom ~units ~n slot =
+  let kind = c.w_kind.(slot) in
+  if kind >= k_compute then begin
+    if comp_possible t ~dom ~units ~n then begin
+      t.sc_comp <- -1;
+      t.compute_budget.(dom) <- t.compute_budget.(dom) - 1;
+      Exebu.issue_arr t.exebus ~unit_ids:units ~n;
+      Bitset.remove c.w_unissued slot;
+      Bitset.remove c.w_scan slot;
+      Bitset.remove c.w_scan_c slot;
+      c.w_done.(slot) <- t.cycle + c.w_lat.(slot);
+      wake_waiters c slot;
+      record_compute_issue t c c.w_width.(slot)
+    end
+  end
+  else begin
+    let is_store = kind = k_store in
+    if
+      mem_possible t c ~dom ~is_store
+      && not
+           (Mob.conflicts t.mob ~arr:c.w_arr.(slot) ~base:c.w_base.(slot)
+              ~len:c.w_elems.(slot) ~is_store)
+    then begin
+      t.sc_load <- -1;
+      t.sc_store <- -1;
+      t.mem_budget.(dom) <- t.mem_budget.(dom) - 1;
+      let level =
+        Profile.classify (Workload.profile_of_array c.wl c.w_arr.(slot)) t.rng
+      in
+      let bytes = c.w_elems.(slot) * 4 in
+      (* Unit-stride vector loads are the stream prefetcher's best case;
+         stores are buffered anyway so their observed latency does not
+         matter. *)
+      let done_at =
+        Hierarchy.book t.hierarchy ~prefetched:t.cfg.prefetch ~now:t.cycle
+          ~level ~bytes
+      in
+      let mslot =
+        Mob.insert_slot t.mob ~core:c.id ~arr:c.w_arr.(slot)
+          ~base:c.w_base.(slot) ~len:c.w_elems.(slot) ~is_store
+      in
+      Lsu.add_slot c.lsu ~done_at ~is_store ~mob:mslot;
+      Bitset.remove c.w_unissued slot;
+      Bitset.remove c.w_scan slot;
+      Bitset.remove c.w_scan_m slot;
+      wake_waiters c slot;
+      (* Senior stores: a store leaves the window at issue (its data is
+         in the store queue); the LSU/MOB keep tracking it until the
+         memory system completes it, so drains and ordering still see
+         it. Loads hold their window slot (and register row) until the
+         data returns. *)
+      c.w_done.(slot) <- (if is_store then t.cycle else done_at);
+      c.w_mob.(slot) <- mslot;
+      record_mem_issue t c
+    end
+  end
+
+let try_issue t c ~dom ~units ~n slot =
+  if t.compute_budget.(dom) = 0 && t.mem_budget.(dom) = 0 then
+    raise_notrace Ports_exhausted;
+  (* {-1,0,1} flags: [lor] is 0 iff all three resolved to false. *)
+  if t.sc_comp lor t.sc_load lor t.sc_store = 0 then
+    raise_notrace Ports_exhausted;
+  if c.w_rdy.(slot) then attempt_issue t c ~dom ~units ~n slot
+  else begin
+    let u = first_unissued c slot in
+    if u >= 0 then park c slot u
+    else begin
+      let r1 = dep_done_at c c.w_s1.(slot) in
+      let r2 = dep_done_at c c.w_s2.(slot) in
+      let r3 = dep_done_at c c.w_s3.(slot) in
+      let rdy =
+        if r1 >= r2 then (if r1 >= r3 then r1 else r3)
+        else if r2 >= r3 then r2
+        else r3
+      in
+      if rdy > t.cycle then begin
+        (* Every producer has issued, so [rdy] is the entry's exact
+           earliest issue cycle: park it on the ready-time heap until
+           then. (With an unissued producer no sound bound exists yet;
+           the entry instead parks on that producer's waiter list.) *)
+        scan_remove c slot;
+        heap_push c ~rdy ~slot
+      end
+      else begin
+        c.w_rdy.(slot) <- true;
+        (* First visit with operands ready: if the entry's LSU direction
+           is full it parks on that direction's FIFO (in sequence order,
+           since first-ready visits happen in sweep order). Later visits
+           never park — a woken entry that loses arbitration must stay
+           in the sweep set, or re-parking could scramble the FIFO's
+           sequence order. *)
+        let kind = c.w_kind.(slot) in
+        if
+          kind < k_compute
+          && not (Lsu.can_accept c.lsu ~is_store:(kind = k_store))
+        then park_space c slot ~is_store:(kind = k_store)
+        else attempt_issue t c ~dom ~units ~n slot
+      end
+    end
+  end
+
+(* Sweep the scannable bitmask over slots [lo, hi) in increasing order;
+   within a ring segment, slot order is insertion (sequence) order.
+   Waiters woken by an issue earlier in the sweep sit at later slots
+   (program order), so [next_set_from] picks them up this very pass.
+
+   Class narrowing: a capability flag at 0 means that class cannot issue
+   for the remainder of this core's pass (budgets only decrease within a
+   cycle, execution units and LSU/MOB slots only fill — the flags reset
+   exactly at the events that could reopen them), so the sweep switches
+   from the union bitmask to the still-open class's subset. Skipped
+   entries could not have issued; their bookkeeping visits (readiness
+   derivation, parking) merely happen on a later cycle with identical
+   outcomes, because their producers' issue cycles and [w_done] times
+   are unchanged by the skip. *)
+let rec issue_segment t c ~dom ~units ~n lo hi =
+  if lo < hi then begin
+    let scan =
+      if t.sc_comp = 0 then c.w_scan_m
+      else if t.sc_load = 0 && t.sc_store = 0 then c.w_scan_c
+      else c.w_scan
+    in
+    let s = Bitset.next_set_from scan lo in
+    if s >= 0 && s < hi then begin
+      try_issue t c ~dom ~units ~n s;
+      issue_segment t c ~dom ~units ~n (s + 1) hi
+    end
+  end
+
+let issue_core t c =
+  let dom = domain t c.id in
+  let units = if t.shares_ports then t.all_units_arr else c.owned_arr in
+  let n = if t.shares_ports then t.cfg.exebus else c.owned_n in
+  t.sc_comp <- -1;
+  t.sc_load <- -1;
+  t.sc_store <- -1;
+  heap_release_due c t.cycle;
+  try
+    if c.w_head < c.w_tail then begin
+      let hs = c.w_head land c.w_mask in
+      let ts = c.w_tail land c.w_mask in
+      if hs < ts then issue_segment t c ~dom ~units ~n hs ts
+      else begin
+        (* Wrapped ring: the [hs, cap) segment holds the older entries. *)
+        issue_segment t c ~dom ~units ~n hs c.w_cap;
+        issue_segment t c ~dom ~units ~n 0 ts
+      end
+    end
+  with Ports_exhausted -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Retire / commit                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let retire t c =
-  (match Lsu.retire c.lsu ~now:t.cycle with
-  | [] -> ()
-  | ids ->
-    t.work_cycle <- t.cycle;
-    List.iter (fun id -> Mob.remove t.mob id) ids);
-  let continue_ = ref true in
-  while !continue_ && not (Queue.is_empty c.rob) do
-    let e = Queue.peek c.rob in
-    if e.issued && e.done_at <= t.cycle then begin
-      ignore (Queue.pop c.rob);
+let rec retire_window t c =
+  if c.w_head < c.w_tail then begin
+    let slot = c.w_head land c.w_mask in
+    if (not (Bitset.mem c.w_unissued slot)) && c.w_done.(slot) <= t.cycle
+    then begin
+      c.w_head <- c.w_head + 1;
       t.work_cycle <- t.cycle;
-      if e.has_row then Freelist.release c.freelist
+      if c.w_kind.(slot) <> k_store then Freelist.release c.freelist;
+      retire_window t c
     end
-    else continue_ := false
-  done
+  end
+
+let retire_due t c =
+  let occ0 = Lsu.outstanding c.lsu in
+  let n = Lsu.retire_into c.lsu ~now:t.cycle ~into:t.mob_scratch in
+  if n > 0 then begin
+    t.work_cycle <- t.cycle;
+    for i = 0 to n - 1 do
+      Mob.remove_slot t.mob t.mob_scratch.(i)
+    done
+  end;
+  if Lsu.outstanding c.lsu < occ0 then begin
+    (* Freed LSU slots make space-parked entries issuable this very
+       cycle (dispatch runs after retirement). Waking one waiter per
+       free slot keeps at least as many candidates in the sweep set as
+       there are slots to fill, and waking oldest-first preserves the
+       sequence-order arbitration of the full rescan: any entry left
+       parked has [free] or more older dep-ready rivals already in the
+       sweep, so the rescan could not have picked it either. *)
+    wake_space_loads c
+      (t.cfg.Config.lsu_load_capacity - Lsu.outstanding_loads c.lsu);
+    wake_space_stores c
+      (t.cfg.Config.lsu_store_capacity - Lsu.outstanding_stores c.lsu)
+  end
+
+let[@inline] retire t c =
+  (* O(1) guard off the completion-heap roots: most cycles nothing is
+     due, so the pop loop (and its bookkeeping) is skipped entirely. *)
+  if Lsu.next_done_at c.lsu <= t.cycle then retire_due t c;
+  retire_window t c
 
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let all_done t =
-  Array.for_all
-    (fun c ->
-      c.halted && pipeline_drained c && c.pending_vl = None
-      && c.cs_state = Cs_running && c.cs_schedule = [])
-    t.cores
+let rec all_done_from t i =
+  i >= Array.length t.cores
+  ||
+  let c = t.cores.(i) in
+  c.halted && pipeline_drained c && c.pending_vl < 0 && cs_is_running c
+  && (match c.cs_schedule with [] -> true | _ -> false)
+  && all_done_from t (i + 1)
+
+let all_done t = all_done_from t 0
 
 let sample_stats t =
-  Array.iter
-    (fun c ->
-      if not c.halted then begin
-        Buckets.add c.vl_buckets ~cycle:t.cycle (float_of_int c.vl);
-        match c.cur_phase with
-        | Some pa ->
-          pa.pa_vl_sum <- pa.pa_vl_sum + c.vl;
-          pa.pa_cycles <- pa.pa_cycles + 1
-        | None -> ()
-      end)
-    t.cores
+  for i = 0 to Array.length t.cores - 1 do
+    let c = t.cores.(i) in
+    if not c.halted then begin
+      Buckets.add_int c.vl_buckets ~cycle:t.cycle c.vl;
+      match c.cur_phase with
+      | Some pa ->
+        pa.pa_vl_sum <- pa.pa_vl_sum + c.vl;
+        pa.pa_cycles <- pa.pa_cycles + 1
+      | None -> ()
+    end
+  done
 
 let check_invariants t =
-  (match t.arch with
+  match t.arch with
   | Arch.Fts -> ()
   | _ ->
     if not (Rtbl.invariant_holds t.rtbl) then
       error "resource table invariant violated at cycle %d" t.cycle;
-    let expected = Array.map (fun c -> c.vl) t.cores in
-    if not (Config_tbl.consistent_with t.exebu_cfg expected) then
+    for i = 0 to Array.length t.cores - 1 do
+      t.inv_scratch.(i) <- t.cores.(i).vl
+    done;
+    if not (Config_tbl.consistent_with t.exebu_cfg t.inv_scratch) then
       error "Dispatch.Cfg inconsistent with <VL> at cycle %d" t.cycle;
-    if not (Config_tbl.consistent_with t.regblk_cfg expected) then
-      error "RegFile.Cfg inconsistent with <VL> at cycle %d" t.cycle)
+    if not (Config_tbl.consistent_with t.regblk_cfg t.inv_scratch) then
+      error "RegFile.Cfg inconsistent with <VL> at cycle %d" t.cycle
 
 (* ------------------------------------------------------------------ *)
 (* OS context switches (§5)                                            *)
@@ -1079,7 +1546,7 @@ let step_context_switch t c =
       c.cs_schedule <- rest
     | _ -> ())
   | Cs_draining ->
-    if pipeline_drained c && c.pending_vl = None && not c.pending_red then begin
+    if pipeline_drained c && c.pending_vl < 0 && not c.pending_red then begin
       let saved_vl = c.vl and saved_oi = Rtbl.oi t.rtbl ~core:c.id in
       (match t.arch with
       | Arch.Fts -> c.vl <- 0
@@ -1152,12 +1619,14 @@ let step t =
   Array.fill t.compute_budget 0 (Array.length t.compute_budget)
     t.cfg.compute_ports;
   Array.fill t.mem_budget 0 (Array.length t.mem_budget) t.cfg.mem_ports;
+  let n = Array.length t.cores in
   if pr then Prof.enter t.prof Prof.Lsu_retire;
-  Array.iter (fun c -> retire t c) t.cores;
+  for i = 0 to n - 1 do
+    retire t t.cores.(i)
+  done;
   if pr then Prof.exit t.prof;
   (* Round-robin both the issue and rename order so that shared resources
      (FTS ports, the shared freelist) are arbitrated fairly. *)
-  let n = Array.length t.cores in
   if pr then Prof.enter t.prof Prof.Dispatch;
   for k = 0 to n - 1 do
     issue_core t t.cores.((k + t.cycle) mod n)
@@ -1173,35 +1642,38 @@ let step t =
     Prof.exit t.prof;
     Prof.enter t.prof Prof.Frontend
   end;
-  Array.iter (fun c -> step_frontend t c) t.cores;
+  for i = 0 to n - 1 do
+    step_frontend t t.cores.(i)
+  done;
   if pr then begin
     Prof.exit t.prof;
     Prof.enter t.prof Prof.Ctx_switch
   end;
-  Array.iter (fun c -> step_context_switch t c) t.cores;
+  for i = 0 to n - 1 do
+    step_context_switch t t.cores.(i)
+  done;
   (* Resolve pending vector-length requests once the pipelines drain
      (§4.2.2 condition (2)). *)
-  Array.iter
-    (fun c ->
-      match c.pending_vl with
-      | Some l when pipeline_drained c -> resolve_vl_request t c l
-      | _ -> ())
-    t.cores;
+  for i = 0 to n - 1 do
+    let c = t.cores.(i) in
+    if c.pending_vl >= 0 && pipeline_drained c then
+      resolve_vl_request t c c.pending_vl
+  done;
   if pr then Prof.exit t.prof;
   (* Rename-stall episode detection (observability only): a fresh stall
      this cycle opens an episode, the first stall-free cycle closes it. *)
   if tracing t then begin
     if pr then Prof.enter t.prof Prof.Trace_overhead;
-    Array.iter
-      (fun c ->
-        let stalls = c.rename_stalls in
-        if stalls > t.obs_prev_stalls.(c.id) then begin
-          if t.obs_stall_start.(c.id) < 0 then
-            t.obs_stall_start.(c.id) <- t.cycle
-        end
-        else trace_end_stall_episode t c ~upto:t.cycle;
-        t.obs_prev_stalls.(c.id) <- stalls)
-      t.cores;
+    for i = 0 to n - 1 do
+      let c = t.cores.(i) in
+      let stalls = c.rename_stalls in
+      if stalls > t.obs_prev_stalls.(c.id) then begin
+        if t.obs_stall_start.(c.id) < 0 then
+          t.obs_stall_start.(c.id) <- t.cycle
+      end
+      else trace_end_stall_episode t c ~upto:t.cycle;
+      t.obs_prev_stalls.(c.id) <- stalls
+    done;
     if pr then Prof.exit t.prof
   end;
   if pr then Prof.enter t.prof Prof.Sample;
@@ -1241,7 +1713,7 @@ let frontend_blocked t c =
   && (match code.(c.pc) with
      | Instr.Vload _ | Instr.Vstore _ | Instr.Vop _ | Instr.Vdup _ -> true
      | _ -> false)
-  && (Occamy_util.Bounded_queue.is_full c.pool || t.cfg.transmit_width <= 0)
+  && (c.p_tail - c.p_head >= c.p_limit || t.cfg.transmit_width <= 0)
 
 (* Post-step rename state: able to progress next cycle (an event),
    deterministically stalled on an exhausted freelist (one counted
@@ -1251,17 +1723,19 @@ type rename_quiescence = Rq_inert | Rq_stalled | Rq_progress
 let rename_quiescence t c =
   if
     t.cfg.rename_width <= 0
-    || Occamy_util.Bounded_queue.is_empty c.pool
-    || Queue.length c.rob >= t.cfg.window
+    || c.p_head = c.p_tail
+    || c.w_tail - c.w_head >= t.cfg.window
   then Rq_inert
   else
-    let needs_row =
-      match Occamy_util.Bounded_queue.peek c.pool with
-      | Pload _ | Pcompute _ | Pdup _ -> true
-      | Pstore _ -> false
-    in
+    let needs_row = c.p_kind.(c.p_head land c.p_mask) <> k_store in
     if needs_row && Freelist.free c.freelist = 0 then Rq_stalled
     else Rq_progress
+
+(* [hz_note]/[t.hz_ev] replace the closure the horizon scan used to
+   allocate per call: the accumulator lives on [t]. *)
+let[@inline] hz_note t now x =
+  if x <= now + 1 then raise_notrace Horizon_now
+  else if x < t.hz_ev then t.hz_ev <- x
 
 (* Earliest cycle at which any core can change state; raises
    [Horizon_now] when something may act on the very next cycle. Purely
@@ -1272,137 +1746,142 @@ let rename_quiescence t c =
    window scan. *)
 let horizon t =
   let now = t.cycle in
-  let ev = ref max_int in
-  let note x =
-    if x <= now + 1 then raise_notrace Horizon_now
-    else if x < !ev then ev := x
-  in
-  Array.iter
-    (fun c ->
-      (match c.cs_state with
-      | Cs_running ->
-        if c.halted then begin
-          (* A halted core still consumes one stale schedule entry per
-             cycle. *)
-          if c.cs_schedule <> [] then raise_notrace Horizon_now
+  t.hz_ev <- max_int;
+  for i = 0 to Array.length t.cores - 1 do
+    let c = t.cores.(i) in
+    (match c.cs_state with
+    | Cs_running ->
+      if c.halted then begin
+        (* A halted core still consumes one stale schedule entry per
+           cycle. *)
+        match c.cs_schedule with
+        | [] -> ()
+        | _ :: _ -> raise_notrace Horizon_now
+      end
+      else begin
+        (match c.cs_schedule with s :: _ -> hz_note t now s | [] -> ());
+        if c.pending_vl >= 0 || c.pending_red then begin
+          (* Blocked on the drain; the moment it completes the request
+             resolves / the reduction unblocks. Drain progress is
+             bounded by the pipeline events scanned below. *)
+          if pipeline_drained c then raise_notrace Horizon_now
         end
+        else if not (frontend_blocked t c) then raise_notrace Horizon_now
+      end
+    | Cs_draining ->
+      (* Transitions (and resolves any pending <VL>) once drained. *)
+      if pipeline_drained c then raise_notrace Horizon_now
+    | Cs_away { resume_at; _ } -> hz_note t now resume_at
+    | Cs_restoring { saved_vl } -> (
+      match t.arch with
+      | Arch.Fts -> raise_notrace Horizon_now
+      | _ ->
+        let target =
+          match t.arch with
+          | Arch.Occamy -> max 1 (Rtbl.decision t.rtbl ~core:c.id)
+          | _ -> saved_vl
+        in
+        (* Feasible -> granted next cycle. Infeasible -> stable until
+           another core releases lanes, itself an event; the naive
+           loop's failing [try_set_vl] per cycle only rewrites
+           <status> to the value it already has. *)
+        if Rtbl.vl t.rtbl ~core:c.id + Rtbl.al t.rtbl >= target then
+          raise_notrace Horizon_now));
+    match rename_quiescence t c with
+    | Rq_progress -> raise_notrace Horizon_now
+    | Rq_inert | Rq_stalled -> ()
+  done;
+  for i = 0 to Array.length t.cores - 1 do
+    let c = t.cores.(i) in
+    (* Next memory completion ([max_int] when drained is inert). *)
+    hz_note t now (Lsu.next_done_at c.lsu);
+    (* The window head retires the cycle after it completes. *)
+    if c.w_head < c.w_tail then begin
+      let hslot = c.w_head land c.w_mask in
+      if (not (Bitset.mem c.w_unissued hslot)) && c.w_done.(hslot) <= now
+      then raise_notrace Horizon_now
+    end;
+    for q = c.w_head to c.w_tail - 1 do
+      let s = q land c.w_mask in
+      if not (Bitset.mem c.w_unissued s) then begin
+        (* Completes at [w_done]; already-complete non-head entries
+           (senior stores) retire with the head, an event of its own. *)
+        if c.w_done.(s) > now then hz_note t now c.w_done.(s)
+      end
+      else if
+          dep_issued c c.w_s1.(s)
+          && dep_issued c c.w_s2.(s)
+          && dep_issued c c.w_s3.(s)
+      then begin
+        let rdy =
+          let r1 = dep_done_at c c.w_s1.(s) in
+          let r2 = dep_done_at c c.w_s2.(s) in
+          let r3 = dep_done_at c c.w_s3.(s) in
+          let m = if r1 > r2 then r1 else r2 in
+          if m > r3 then m else r3
+        in
+        if rdy > now then hz_note t now rdy
+        else if c.w_kind.(s) >= k_compute then
+          (* Ready compute: ports and ExeBU slots refresh every cycle,
+             so it can issue next cycle. *)
+          raise_notrace Horizon_now
         else begin
-          (match c.cs_schedule with s :: _ -> note s | [] -> ());
-          if c.pending_vl <> None || c.pending_red then begin
-            (* Blocked on the drain; the moment it completes the request
-               resolves / the reduction unblocks. Drain progress is
-               bounded by the pipeline events scanned below. *)
-            if pipeline_drained c then raise_notrace Horizon_now
-          end
-          else if not (frontend_blocked t c) then raise_notrace Horizon_now
+          let is_store = c.w_kind.(s) = k_store in
+          if
+            Lsu.can_accept c.lsu ~is_store
+            && (not (Mob.is_full t.mob))
+            && not
+                 (Mob.conflicts t.mob ~arr:c.w_arr.(s) ~base:c.w_base.(s)
+                    ~len:c.w_elems.(s) ~is_store)
+          then raise_notrace Horizon_now
+          (* else blocked on LSU/MOB occupancy or an address
+             conflict: that state only changes at a memory
+             completion, noted above for every core. *)
         end
-      | Cs_draining ->
-        (* Transitions (and resolves any pending <VL>) once drained. *)
-        if pipeline_drained c then raise_notrace Horizon_now
-      | Cs_away { resume_at; _ } -> note resume_at
-      | Cs_restoring { saved_vl } -> (
-        match t.arch with
-        | Arch.Fts -> raise_notrace Horizon_now
-        | _ ->
-          let target =
-            match t.arch with
-            | Arch.Occamy -> max 1 (Rtbl.decision t.rtbl ~core:c.id)
-            | _ -> saved_vl
-          in
-          (* Feasible -> granted next cycle. Infeasible -> stable until
-             another core releases lanes, itself an event; the naive
-             loop's failing [try_set_vl] per cycle only rewrites
-             <status> to the value it already has. *)
-          if Rtbl.vl t.rtbl ~core:c.id + Rtbl.al t.rtbl >= target then
-            raise_notrace Horizon_now));
-      match rename_quiescence t c with
-      | Rq_progress -> raise_notrace Horizon_now
-      | Rq_inert | Rq_stalled -> ())
-    t.cores;
-  Array.iter
-    (fun c ->
-      (* Next memory completion ([max_int] when drained is inert). *)
-      note (Lsu.next_done_at c.lsu);
-      (* The window head retires the cycle after it completes. *)
-      (match Queue.peek_opt c.rob with
-      | Some e when e.issued && e.done_at <= now -> raise_notrace Horizon_now
-      | _ -> ());
-      Queue.iter
-        (fun e ->
-          if e.issued then begin
-            (* Completes at [done_at]; already-complete non-head entries
-               (senior stores) retire with the head, an event of its
-               own. *)
-            if e.done_at > now then note e.done_at
-          end
-          else if List.for_all (fun p -> p.issued) e.srcs then begin
-            let rdy =
-              List.fold_left (fun acc p -> max acc p.done_at) 0 e.srcs
-            in
-            if rdy > now then note rdy
-            else
-              match e.kind with
-              | Kcompute _ | Kdup ->
-                (* Ready compute: ports and ExeBU slots refresh every
-                   cycle, so it can issue next cycle. *)
-                raise_notrace Horizon_now
-              | Kload | Kstore ->
-                let is_store = e.kind = Kstore in
-                if
-                  Lsu.can_accept c.lsu ~is_store
-                  && (not (Mob.is_full t.mob))
-                  && not
-                       (Mob.conflicts t.mob ~arr:e.arr ~base:e.base
-                          ~len:e.elems ~is_store)
-                then raise_notrace Horizon_now
-                (* else blocked on LSU/MOB occupancy or an address
-                   conflict: that state only changes at a memory
-                   completion, noted above for every core. *)
-          end
-          (* Unissued with an unissued producer: bounded by the
-             producer's own entry, scanned in this same pass. *))
-        c.rob)
-    t.cores;
-  !ev
+      end
+      (* Unissued with an unissued producer: bounded by the producer's
+         own entry, scanned in this same pass. *)
+    done
+  done;
+  t.hz_ev
 
 (* Jump to [target] (exclusive of the step that will execute
    [target + 1]), batching exactly the per-cycle effects the naive loop
    would have accumulated over cycles [t.cycle+1 .. target]. *)
 let fast_forward_to t ~target =
   let k = target - t.cycle in
-  Array.iter
-    (fun c ->
-      (* Front-end blocked on MSR <VL>: one counted cycle each tick. *)
-      if c.cs_state = Cs_running && (not c.halted) && c.pending_vl <> None
-      then c.blocked_vl_cycles <- c.blocked_vl_cycles + k;
-      (* Deterministic rename stall: one failed allocation per cycle. *)
-      (match rename_quiescence t c with
-      | Rq_stalled ->
-        c.rename_stalls <- c.rename_stalls + k;
-        (match c.cur_phase with
-        | Some pa -> pa.pa_stalls <- pa.pa_stalls + k
-        | None -> ());
-        Freelist.record_failures c.freelist ~count:k;
-        if tracing t then begin
-          (* The episode detector would have seen the first batched
-             stall at cycle+1; keep its start stamp and its
-             already-counted baseline exact. *)
-          if t.obs_stall_start.(c.id) < 0 then
-            t.obs_stall_start.(c.id) <- t.cycle + 1;
-          t.obs_prev_stalls.(c.id) <- c.rename_stalls
-        end
-      | Rq_inert | Rq_progress -> ());
-      (* Per-cycle sampling ([sample_stats]) for live cores. *)
-      if not c.halted then begin
-        Buckets.add_run c.vl_buckets ~cycle:(t.cycle + 1) ~len:k
-          (float_of_int c.vl);
-        match c.cur_phase with
-        | Some pa ->
-          pa.pa_vl_sum <- pa.pa_vl_sum + (k * c.vl);
-          pa.pa_cycles <- pa.pa_cycles + k
-        | None -> ()
-      end)
-    t.cores;
+  for i = 0 to Array.length t.cores - 1 do
+    let c = t.cores.(i) in
+    (* Front-end blocked on MSR <VL>: one counted cycle each tick. *)
+    if cs_is_running c && (not c.halted) && c.pending_vl >= 0 then
+      c.blocked_vl_cycles <- c.blocked_vl_cycles + k;
+    (* Deterministic rename stall: one failed allocation per cycle. *)
+    (match rename_quiescence t c with
+    | Rq_stalled ->
+      c.rename_stalls <- c.rename_stalls + k;
+      (match c.cur_phase with
+      | Some pa -> pa.pa_stalls <- pa.pa_stalls + k
+      | None -> ());
+      Freelist.record_failures c.freelist ~count:k;
+      if tracing t then begin
+        (* The episode detector would have seen the first batched
+           stall at cycle+1; keep its start stamp and its
+           already-counted baseline exact. *)
+        if t.obs_stall_start.(c.id) < 0 then
+          t.obs_stall_start.(c.id) <- t.cycle + 1;
+        t.obs_prev_stalls.(c.id) <- c.rename_stalls
+      end
+    | Rq_inert | Rq_progress -> ());
+    (* Per-cycle sampling ([sample_stats]) for live cores. *)
+    if not c.halted then begin
+      Buckets.add_run_int c.vl_buckets ~cycle:(t.cycle + 1) ~len:k c.vl;
+      match c.cur_phase with
+      | Some pa ->
+        pa.pa_vl_sum <- pa.pa_vl_sum + (k * c.vl);
+        pa.pa_cycles <- pa.pa_cycles + k
+      | None -> ()
+    end
+  done;
   (* The naive loop checks invariants at multiples of 1024; state is
      constant across the jump, so one check at the far end is
      equivalent whenever the jump crosses such a boundary. *)
@@ -1502,9 +1981,9 @@ let run t =
     Metrics.arch = t.arch;
     total_cycles = total;
     simd_util =
-      t.busy_lane_cycles
+      t.busy_lanes.(0)
       /. float_of_int (max 1 total * Config.total_lanes t.cfg);
-    busy_lane_cycles = t.busy_lane_cycles;
+    busy_lane_cycles = t.busy_lanes.(0);
     replans =
       (match t.lane_mgr with Some m -> Lane_mgr.replans m | None -> t.replans);
     cores = Array.map core_result t.cores;

@@ -88,3 +88,4 @@ val stage_work : t -> (string * float) list
 (** Work counters correlated with the profiler's stages, summed over
     cores: LSU retire scans and completions, ExeBU issue probes and
     issues — so stage time can be read as ns per unit of work. *)
+

@@ -70,14 +70,14 @@ let apply t (args : float array) =
 
 (* Arity-specialised forms for the execution hot loops: same semantics
    as [apply], no operand boxing. *)
-let apply1 t a =
+let[@inline] apply1 t a =
   match t with
   | Abs -> Float.abs a
   | Neg -> -.a
   | Sqrt -> sqrt a
   | _ -> invalid_arg "Vop.apply1: arity mismatch"
 
-let apply2 t a b =
+let[@inline] apply2 t a b =
   match t with
   | Add -> a +. b
   | Sub -> a -. b
@@ -87,7 +87,7 @@ let apply2 t a b =
   | Min -> Float.min a b
   | _ -> invalid_arg "Vop.apply2: arity mismatch"
 
-let apply3 t a b c =
+let[@inline] apply3 t a b c =
   match t with
   | Fma -> a +. (b *. c)
   | _ -> invalid_arg "Vop.apply3: arity mismatch"

@@ -5,44 +5,73 @@
     starting no earlier than both the request time and the end of the
     previous occupancy. This token-bucket model is what makes co-running
     workloads contend for L2/DRAM bandwidth, the effect underlying the
-    paper's memory-bandwidth roofline ceilings (§5.1). *)
+    paper's memory-bandwidth roofline ceilings (§5.1).
+
+    The mutable state lives in an unboxed float array rather than mutable
+    float fields: in a mixed record every float-field write allocates a
+    fresh box, and [request] runs once per level crossed on every memory
+    access of the simulator's zero-allocation hot loop. *)
 
 type t = {
   name : string;
   bytes_per_cycle : float;
-  mutable next_free : float;   (* cycle at which the channel frees up *)
-  mutable busy_cycles : float; (* total occupancy, for utilisation stats *)
-  mutable bytes_moved : float;
+  st : float array;
+      (* [| next_free; busy_cycles; bytes_moved |]: the cycle at which
+         the channel frees up, total occupancy for utilisation stats,
+         and total traffic *)
 }
 
 let create ~name ~bytes_per_cycle =
   if bytes_per_cycle <= 0.0 then invalid_arg "Channel.create: bandwidth <= 0";
-  { name; bytes_per_cycle; next_free = 0.0; busy_cycles = 0.0; bytes_moved = 0.0 }
+  { name; bytes_per_cycle; st = [| 0.0; 0.0; 0.0 |] }
 
 let reset t =
-  t.next_free <- 0.0;
-  t.busy_cycles <- 0.0;
-  t.bytes_moved <- 0.0
+  t.st.(0) <- 0.0;
+  t.st.(1) <- 0.0;
+  t.st.(2) <- 0.0
 
 (** [request t ~now ~bytes] books a transfer and returns the cycle at which
     the last byte has moved through the channel. *)
-let request t ~now ~bytes =
+let[@inline] request t ~now ~bytes =
   if bytes < 0.0 then invalid_arg "Channel.request: negative size";
-  let start = Float.max now t.next_free in
+  let next_free = t.st.(0) in
+  let start = if next_free > now then next_free else now in
   let occupancy = bytes /. t.bytes_per_cycle in
-  t.next_free <- start +. occupancy;
-  t.busy_cycles <- t.busy_cycles +. occupancy;
-  t.bytes_moved <- t.bytes_moved +. bytes;
-  t.next_free
+  let free_at = start +. occupancy in
+  t.st.(0) <- free_at;
+  t.st.(1) <- t.st.(1) +. occupancy;
+  t.st.(2) <- t.st.(2) +. bytes;
+  free_at
+
+(** [book t ~io] is {!request} with the floats passed through a caller
+    scratch array instead of the argument/return registers: [io.(0)] is
+    the request time on entry and the completion cycle on exit; [io.(1)]
+    is the byte count (unchanged). Float array cells load and store
+    unboxed, so — unlike [request], whose float argument and result box
+    at any non-inlined call — this entry point is allocation-free even
+    without cross-module inlining (dune's dev profile passes [-opaque]).
+    The arithmetic is identical to {!request}. *)
+let book t ~io =
+  let now = io.(0) in
+  let bytes = io.(1) in
+  if bytes < 0.0 then invalid_arg "Channel.request: negative size";
+  let next_free = t.st.(0) in
+  let start = if next_free > now then next_free else now in
+  let occupancy = bytes /. t.bytes_per_cycle in
+  let free_at = start +. occupancy in
+  t.st.(0) <- free_at;
+  t.st.(1) <- t.st.(1) +. occupancy;
+  t.st.(2) <- t.st.(2) +. bytes;
+  io.(0) <- free_at
 
 (** Would a request issued [now] start immediately (no queueing)? *)
-let is_free t ~now = t.next_free <= now
+let[@inline] is_free t ~now = t.st.(0) <= now
 
 let bytes_per_cycle t = t.bytes_per_cycle
-let busy_cycles t = t.busy_cycles
-let bytes_moved t = t.bytes_moved
+let busy_cycles t = t.st.(1)
+let bytes_moved t = t.st.(2)
 let name t = t.name
 
 (** Average bandwidth utilisation over [cycles]. *)
 let utilisation t ~cycles =
-  if cycles <= 0.0 then 0.0 else Float.min 1.0 (t.busy_cycles /. cycles)
+  if cycles <= 0.0 then 0.0 else Float.min 1.0 (t.st.(1) /. cycles)

@@ -11,6 +11,13 @@ val reset : t -> unit
 val request : t -> now:float -> bytes:float -> float
 (** Book a transfer; returns the cycle its last byte has moved. *)
 
+val book : t -> io:float array -> unit
+(** {!request} through a caller scratch array: [io.(0)] holds the
+    request time on entry and the completion cycle on exit, [io.(1)] the
+    byte count. Float array cells move unboxed across the call, so this
+    is allocation-free even without cross-module inlining — the
+    simulator's issue path uses it. Arithmetic identical to {!request}. *)
+
 val is_free : t -> now:float -> bool
 (** Would a request at [now] start without queueing? *)
 

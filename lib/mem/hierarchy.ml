@@ -39,6 +39,10 @@ type t = {
   mutable accesses : int;
   mutable by_level : int array;  (* indexed by Level.depth *)
   mutable bytes_by_level : float array;  (* bytes *served at* each level *)
+  xfer : float array;
+      (* [| time; bytes |] scratch threading the request time through the
+         per-level {!Channel.book} calls without boxing a float at any
+         call boundary (the simulator's issue path is allocation-free) *)
 }
 
 let create ?(cfg = default_config) () =
@@ -50,6 +54,7 @@ let create ?(cfg = default_config) () =
     accesses = 0;
     by_level = Array.make 3 0;
     bytes_by_level = Array.make 3 0.0;
+    xfer = [| 0.0; 0.0 |];
   }
 
 let reset t =
@@ -76,26 +81,36 @@ let latency_to t level =
     prefetcher's best case; this is what makes memory-intensive phases
     bandwidth-bound rather than latency-bound, the premise of the paper's
     roofline-based lane manager (§5.1). *)
-let access ?(prefetched = false) t ~now ~level ~bytes =
+let book t ~prefetched ~now ~level ~bytes =
   t.accesses <- t.accesses + 1;
   t.by_level.(Level.depth level) <- t.by_level.(Level.depth level) + 1;
   t.bytes_by_level.(Level.depth level) <-
     t.bytes_by_level.(Level.depth level) +. float_of_int bytes;
-  let now = float_of_int now in
-  let bytes = float_of_int bytes in
-  let t_vc = Channel.request t.vc ~now ~bytes in
-  let t_done =
-    match level with
-    | Level.Vec_cache -> t_vc
-    | Level.L2 -> Channel.request t.l2 ~now:t_vc ~bytes
-    | Level.Dram ->
-      let t_l2 = Channel.request t.l2 ~now:t_vc ~bytes in
-      Channel.request t.dram ~now:t_l2 ~bytes
-  in
-  let observed_latency =
-    if prefetched then t.cfg.vc_latency else latency_to t level
-  in
-  int_of_float (Float.ceil t_done) + observed_latency
+  (* The request time threads through the per-level channel bookings in
+     [t.xfer]: each {!Channel.book} reads its start time from [xfer.(0)]
+     and leaves its completion there, so no float crosses a call
+     boundary (where it would box) on this allocation-free path. Each
+     [match] branch completes on an int for the same reason. *)
+  let io = t.xfer in
+  io.(0) <- float_of_int now;
+  io.(1) <- float_of_int bytes;
+  Channel.book t.vc ~io;
+  match level with
+  | Level.Vec_cache -> int_of_float (Float.ceil io.(0)) + t.cfg.vc_latency
+  | Level.L2 ->
+    Channel.book t.l2 ~io;
+    int_of_float (Float.ceil io.(0))
+    + (if prefetched then t.cfg.vc_latency
+       else t.cfg.vc_latency + t.cfg.l2_latency)
+  | Level.Dram ->
+    Channel.book t.l2 ~io;
+    Channel.book t.dram ~io;
+    int_of_float (Float.ceil io.(0))
+    + (if prefetched then t.cfg.vc_latency
+       else t.cfg.vc_latency + t.cfg.l2_latency + t.cfg.dram_latency)
+
+let access ?(prefetched = false) t ~now ~level ~bytes =
+  book t ~prefetched ~now ~level ~bytes
 
 (** Peak bandwidth (bytes/cycle) of a level, for the roofline model. *)
 let bandwidth_of t level =

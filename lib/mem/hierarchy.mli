@@ -26,6 +26,11 @@ val access : ?prefetched:bool -> t -> now:int -> level:Level.t -> bytes:int -> i
     bandwidth but only exposes the vector-cache latency — this is what
     makes streaming phases bandwidth-bound, the premise of §5.1. *)
 
+val book : t -> prefetched:bool -> now:int -> level:Level.t -> bytes:int -> int
+(** {!access} with a required [prefetched] flag: the optional argument
+    wraps its value in [Some] at every call site, which the simulator's
+    zero-allocation issue path cannot afford. Semantics are identical. *)
+
 val latency_to : t -> Level.t -> int
 val bandwidth_of : t -> Level.t -> float
 val accesses : t -> int

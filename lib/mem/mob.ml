@@ -7,27 +7,96 @@
     wait until the matching entries are deallocated.
 
     Regions are (array, base element, length) triples; completion
-    deallocates. The structure is per-machine (addresses are global). *)
+    deallocates. The structure is per-machine (addresses are global).
 
-type entry = {
-  id : int;
-  core : int;
-  arr : int;
-  base : int;
-  len : int;
-  is_store : bool;
-}
+    Data-oriented layout: entries live in preallocated parallel int
+    arrays indexed by slot, with a packed occupancy bitmask driving the
+    conflict sweep and a free-slot stack for O(1) allocation — the
+    simulator probes [conflicts]/[is_full] on every load/store issue
+    attempt, and none of it allocates. The simulator addresses entries
+    by slot ([insert_slot]/[remove_slot]); the id-based API remains for
+    callers that want stable handles. *)
+
+open Occamy_util
 
 type t = {
   capacity : int;
   mutable next_id : int;
-  mutable entries : entry list;
+  ids : int array; (* stable external id per slot, -1 = free *)
+  cores : int array;
+  arrs : int array;
+  bases : int array;
+  lens : int array;
+  stores : bool array;
+  occ : Bitset.t;
+  free : int array;
+  mutable free_n : int;
+  (* Per-array-id occupancy counters gating the conflict sweep: a read
+     can only conflict with an in-flight store to the same array, and a
+     write with any in-flight access to it, so a zero count proves the
+     absence of conflicts without scanning. Array ids beyond the fixed
+     span (rare) fall back to the full sweep. *)
+  arr_stores : int array;
+  arr_any : int array;
 }
 
-let create ?(capacity = 64) () = { capacity; next_id = 0; entries = [] }
+let arr_span = 256
 
-let size t = List.length t.entries
-let is_full t = size t >= t.capacity
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Mob.create: capacity must be positive";
+  {
+    capacity;
+    next_id = 0;
+    ids = Array.make capacity (-1);
+    cores = Array.make capacity 0;
+    arrs = Array.make capacity 0;
+    bases = Array.make capacity 0;
+    lens = Array.make capacity 0;
+    stores = Array.make capacity false;
+    occ = Bitset.create capacity;
+    free = Array.init capacity (fun i -> i);
+    free_n = capacity;
+    arr_stores = Array.make arr_span 0;
+    arr_any = Array.make arr_span 0;
+  }
+
+let size t = t.capacity - t.free_n
+let[@inline] is_full t = t.free_n = 0
+
+(** [insert_slot] registers an in-flight vector access and returns its
+    slot handle; allocation-free. Raises when full — the simulator
+    checks {!is_full} first. *)
+let insert_slot t ~core ~arr ~base ~len ~is_store =
+  if len < 0 || base < 0 then invalid_arg "Mob.insert: bad region";
+  if t.free_n = 0 then invalid_arg "Mob.insert_slot: full";
+  t.free_n <- t.free_n - 1;
+  let s = t.free.(t.free_n) in
+  t.ids.(s) <- t.next_id;
+  t.next_id <- t.next_id + 1;
+  t.cores.(s) <- core;
+  t.arrs.(s) <- arr;
+  t.bases.(s) <- base;
+  t.lens.(s) <- len;
+  t.stores.(s) <- is_store;
+  if arr >= 0 && arr < arr_span then begin
+    t.arr_any.(arr) <- t.arr_any.(arr) + 1;
+    if is_store then t.arr_stores.(arr) <- t.arr_stores.(arr) + 1
+  end;
+  Bitset.add t.occ s;
+  s
+
+let remove_slot t s =
+  if s < 0 || s >= t.capacity || not (Bitset.mem t.occ s) then
+    invalid_arg "Mob.remove_slot: not occupied";
+  t.ids.(s) <- -1;
+  let arr = t.arrs.(s) in
+  if arr >= 0 && arr < arr_span then begin
+    t.arr_any.(arr) <- t.arr_any.(arr) - 1;
+    if t.stores.(s) then t.arr_stores.(arr) <- t.arr_stores.(arr) - 1
+  end;
+  Bitset.remove t.occ s;
+  t.free.(t.free_n) <- s;
+  t.free_n <- t.free_n + 1
 
 (** [insert] registers an in-flight vector access; returns its id, or
     [None] when the MOB is full (the LSU must stall the access). *)
@@ -35,30 +104,57 @@ let insert t ~core ~arr ~base ~len ~is_store =
   if len < 0 || base < 0 then invalid_arg "Mob.insert: bad region";
   if is_full t then None
   else begin
-    let id = t.next_id in
-    t.next_id <- id + 1;
-    t.entries <- { id; core; arr; base; len; is_store } :: t.entries;
-    Some id
+    let s = insert_slot t ~core ~arr ~base ~len ~is_store in
+    Some t.ids.(s)
   end
 
-let remove t id = t.entries <- List.filter (fun e -> e.id <> id) t.entries
+let rec find_id t id s =
+  if s < 0 then -1
+  else if t.ids.(s) = id then s
+  else find_id t id (Bitset.next_set_from t.occ (s + 1))
 
-let ranges_overlap b1 l1 b2 l2 = b1 < b2 + l2 && b2 < b1 + l1
+let remove t id =
+  let s = find_id t id (Bitset.next_set_from t.occ 0) in
+  if s >= 0 then remove_slot t s
+
+let[@inline] ranges_overlap b1 l1 b2 l2 = b1 < b2 + l2 && b2 < b1 + l1
+
+let rec conflict_scan t ~arr ~base ~len ~is_store s =
+  if s < 0 then false
+  else if
+    t.arrs.(s) = arr
+    && ranges_overlap t.bases.(s) t.lens.(s) base len
+    && (is_store || t.stores.(s))
+  then true
+  else
+    conflict_scan t ~arr ~base ~len ~is_store
+      (Bitset.next_set_from t.occ (s + 1))
 
 (** Does a (read) access to [arr.[base..base+len)] conflict with any
     in-flight entry? Reads conflict only with in-flight stores; writes
     conflict with everything. *)
 let conflicts t ~arr ~base ~len ~is_store =
-  List.exists
-    (fun e ->
-      e.arr = arr
-      && ranges_overlap e.base e.len base len
-      && (is_store || e.is_store))
-    t.entries
+  (arr < 0 || arr >= arr_span
+  || (if is_store then t.arr_any.(arr) else t.arr_stores.(arr)) > 0)
+  && conflict_scan t ~arr ~base ~len ~is_store (Bitset.next_set_from t.occ 0)
+
+let rec count_core t ~core acc s =
+  if s < 0 then acc
+  else
+    count_core t ~core
+      (if t.cores.(s) = core then acc + 1 else acc)
+      (Bitset.next_set_from t.occ (s + 1))
 
 (** Entries belonging to a core, used to decide whether its SIMD ld/st
     pipeline has drained. *)
-let outstanding_of t ~core =
-  List.length (List.filter (fun e -> e.core = core) t.entries)
+let outstanding_of t ~core = count_core t ~core 0 (Bitset.next_set_from t.occ 0)
 
-let clear t = t.entries <- []
+let clear t =
+  Bitset.clear t.occ;
+  Array.fill t.ids 0 t.capacity (-1);
+  Array.fill t.arr_stores 0 arr_span 0;
+  Array.fill t.arr_any 0 arr_span 0;
+  t.free_n <- t.capacity;
+  for i = 0 to t.capacity - 1 do
+    t.free.(i) <- i
+  done

@@ -15,6 +15,15 @@ val insert :
 
 val remove : t -> int -> unit
 
+val insert_slot :
+  t -> core:int -> arr:int -> base:int -> len:int -> is_store:bool -> int
+(** Allocation-free {!insert}: returns a slot handle for {!remove_slot}.
+    Raises when full — check {!is_full} first. The simulator's hot-path
+    entry point. *)
+
+val remove_slot : t -> int -> unit
+(** Deallocate by slot handle; raises on a slot that is not occupied. *)
+
 val conflicts : t -> arr:int -> base:int -> len:int -> is_store:bool -> bool
 (** Reads conflict with in-flight stores; writes with everything. *)
 

@@ -36,9 +36,16 @@ let dominant t =
   else if t.l2 >= t.vc then Level.L2
   else Level.Vec_cache
 
-(** Sample the service level of one access. *)
+(** Sample the service level of one access. Draws the RNG's integer bits
+    and scales locally so the uniform float never crosses the module
+    boundary (a float return boxes at any non-inlined call — this runs on
+    the simulator's allocation-free issue path). The value is exactly
+    [Rng.float rng]. *)
 let classify t rng =
-  let x = Occamy_util.Rng.float rng in
+  let x =
+    Stdlib.float_of_int (Occamy_util.Rng.bits53 rng)
+    *. (1.0 /. 9007199254740992.0)
+  in
   if x < t.vc then Level.Vec_cache
   else if x < t.vc +. t.l2 then Level.L2
   else Level.Dram

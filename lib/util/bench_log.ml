@@ -122,9 +122,14 @@ let parse_line line =
                e_section = section;
                e_seconds = seconds;
                e_jobs =
+                 (* Default to 1, matching what every writer emits
+                    explicitly: a legacy line that predates the explicit
+                    field ran single-domain, and defaulting to anything
+                    else would silently split its trajectory group away
+                    from current lines with the same section. *)
                  (match numf "jobs" with
                  | Some x -> int_of_float x
-                 | None -> 0);
+                 | None -> 1);
                e_fields = fields;
              })
       | None, _ -> Error "missing \"section\" field"

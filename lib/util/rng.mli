@@ -15,6 +15,12 @@ val copy : t -> t
 val float : t -> float
 (** Uniform in [0, 1). *)
 
+val bits53 : t -> int
+(** The draw behind {!float}, as its exact 53-bit integer:
+    [float t = float_of_int (bits53 t) *. 2^-53]. Lets allocation-free
+    callers keep the float math on their own side of the module boundary
+    (a float return boxes at any non-inlined call). *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] on a
     non-positive bound. *)

@@ -80,8 +80,9 @@ module Buckets = struct
     end
 
   (** [add t ~cycle v] accumulates sample [v] for the bucket containing
-      [cycle]. *)
-  let add t ~cycle v =
+      [cycle]. Inlined so [v] stays unboxed at the simulator's per-cycle
+      sampling sites (a non-inlined float argument is boxed per call). *)
+  let[@inline] add t ~cycle v =
     let idx = cycle / t.width in
     ensure t idx;
     t.sums.(idx) <- t.sums.(idx) +. v;
@@ -93,19 +94,59 @@ module Buckets = struct
       calls as long as the per-bucket partial sums are exactly
       representable — true for the simulator's integer-valued samples
       (vector lengths, lane counts), whose sums stay far below 2^53. *)
-  let add_run t ~cycle ~len v =
-    if len < 0 then invalid_arg "Buckets.add_run: negative length";
-    let pos = ref cycle and left = ref len in
-    while !left > 0 do
-      let idx = !pos / t.width in
+  (** Integer-argument entry points for the simulator's per-cycle
+      sampling sites: an int crosses a non-inlined module boundary
+      without boxing, where a float argument allocates per call. The
+      conversions happen here, inside float store contexts, so these are
+      allocation-free in any build profile (dune's dev profile passes
+      [-opaque], which disables cross-module [@inline]). *)
+
+  (** [add_int t ~cycle v] = [add t ~cycle (float_of_int v)]. *)
+  let add_int t ~cycle v =
+    let idx = cycle / t.width in
+    ensure t idx;
+    t.sums.(idx) <- t.sums.(idx) +. float_of_int v;
+    t.counts.(idx) <- t.counts.(idx) + 1
+
+  (** [add_ratio t ~cycle ~num ~den] =
+      [add t ~cycle (float_of_int num /. float_of_int den)]. *)
+  let add_ratio t ~cycle ~num ~den =
+    let idx = cycle / t.width in
+    ensure t idx;
+    t.sums.(idx) <- t.sums.(idx) +. (float_of_int num /. float_of_int den);
+    t.counts.(idx) <- t.counts.(idx) + 1
+
+  let rec add_run_from t pos left v =
+    if left > 0 then begin
+      let idx = pos / t.width in
       ensure t idx;
       let bucket_end = (idx + 1) * t.width in
-      let m = Stdlib.min !left (bucket_end - !pos) in
+      let m = Stdlib.min left (bucket_end - pos) in
       t.sums.(idx) <- t.sums.(idx) +. (float_of_int m *. v);
       t.counts.(idx) <- t.counts.(idx) + m;
-      pos := !pos + m;
-      left := !left - m
-    done
+      add_run_from t (pos + m) (left - m) v
+    end
+
+  let add_run t ~cycle ~len v =
+    if len < 0 then invalid_arg "Buckets.add_run: negative length";
+    add_run_from t cycle len v
+
+  let rec add_run_int_from t pos left v =
+    if left > 0 then begin
+      let idx = pos / t.width in
+      ensure t idx;
+      let bucket_end = (idx + 1) * t.width in
+      let m = Stdlib.min left (bucket_end - pos) in
+      t.sums.(idx) <- t.sums.(idx) +. (float_of_int m *. float_of_int v);
+      t.counts.(idx) <- t.counts.(idx) + m;
+      add_run_int_from t (pos + m) (left - m) v
+    end
+
+  (** [add_run_int t ~cycle ~len v] =
+      [add_run t ~cycle ~len (float_of_int v)]. *)
+  let add_run_int t ~cycle ~len v =
+    if len < 0 then invalid_arg "Buckets.add_run: negative length";
+    add_run_int_from t cycle len v
 
   (** Per-bucket sums divided by the bucket width — the "per cycle" rate
       used for lane-occupancy timelines. *)

@@ -41,6 +41,20 @@ module Buckets : sig
       simulator records) this is bit-identical to [len] calls to
       [add]. The fast-forward skip path relies on that equality. *)
 
+  val add_int : t -> cycle:int -> int -> unit
+  (** [add t ~cycle (float_of_int v)] with the conversion on the callee
+      side: an int argument crosses a non-inlined module boundary
+      without boxing, where a float argument allocates per call. For the
+      simulator's allocation-free sampling sites. *)
+
+  val add_ratio : t -> cycle:int -> num:int -> den:int -> unit
+  (** [add t ~cycle (float_of_int num /. float_of_int den)], conversions
+      on the callee side (see {!add_int}). *)
+
+  val add_run_int : t -> cycle:int -> len:int -> int -> unit
+  (** [add_run t ~cycle ~len (float_of_int v)], conversion on the callee
+      side (see {!add_int}). *)
+
   val rates : t -> float array
   (** Per-bucket sums divided by the bucket width: per-cycle rates. *)
 

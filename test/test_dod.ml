@@ -1,0 +1,227 @@
+(* Tests for the data-oriented simulator core's packed structures:
+   - Bitset vs a naive sorted-list oracle (property-tested)
+   - the limb-based Rng vs a reference Int64 SplitMix64 (bit-identical)
+   - Freelist exhaustion/reuse
+   - zero steady-state allocation over dense cycles (Gc.minor_words) *)
+
+open Occamy_util
+module Sim = Occamy_core.Sim
+module Arch = Occamy_core.Arch
+module Config = Occamy_core.Config
+
+(* ------------------------------------------------------------------ *)
+(* Reference SplitMix64 over boxed Int64 — the original [Rng]
+   implementation, kept verbatim as the oracle for the limb version. *)
+
+module Ref_rng = struct
+  type t = { mutable state : int64 }
+
+  let create ~seed = { state = Int64.of_int seed }
+
+  let next_int64 t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let float t =
+    let bits = Int64.shift_right_logical (next_int64 t) 11 in
+    Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "bound";
+    let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+    r mod bound
+
+  let range t lo hi = lo + int t (hi - lo + 1)
+  let bool t p = float t < p
+
+  let split t =
+    let seed = Int64.to_int (next_int64 t) in
+    { state = Int64.of_int (seed lxor 0x5851F42D) }
+end
+
+let seeds =
+  [ 0; 1; 42; 12345; -1; -987654321; max_int; min_int; 0x5851F42D; 1 lsl 40 ]
+
+let test_rng_matches_reference () =
+  List.iter
+    (fun seed ->
+      let r = Rng.create ~seed and o = Ref_rng.create ~seed in
+      for i = 0 to 2999 do
+        (* Interleave every operation kind so state stays in lockstep. *)
+        match i mod 4 with
+        | 0 ->
+            let a = Rng.float r and b = Ref_rng.float o in
+            if a <> b then
+              Alcotest.failf "float diverged (seed %d, draw %d): %h vs %h" seed
+                i a b
+        | 1 ->
+            Helpers.check_int "int draw" (Ref_rng.int o 1000) (Rng.int r 1000)
+        | 2 ->
+            Helpers.check_int "range draw"
+              (Ref_rng.range o (-50) 50)
+              (Rng.range r (-50) 50)
+        | _ ->
+            Helpers.check_bool "bool draw" (Ref_rng.bool o 0.3)
+              (Rng.bool r 0.3)
+      done)
+    seeds
+
+let test_rng_split_matches_reference () =
+  List.iter
+    (fun seed ->
+      let r = Rng.create ~seed and o = Ref_rng.create ~seed in
+      (* Chain splits: each derived generator must continue the same
+         stream, and the parent must stay in lockstep too. *)
+      let r' = Rng.split r and o' = Ref_rng.split o in
+      let r'' = Rng.split r' and o'' = Ref_rng.split o' in
+      List.iter
+        (fun (a, b) ->
+          for _ = 1 to 500 do
+            Helpers.check_int "split stream" (Ref_rng.int b 1_000_000)
+              (Rng.int a 1_000_000)
+          done)
+        [ (r, o); (r', o'); (r'', o'') ])
+    seeds
+
+let test_rng_copy () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 17 do ignore (Rng.float r) done;
+  let c = Rng.copy r in
+  for _ = 1 to 100 do
+    Helpers.check_int "copy lockstep" (Rng.int r 999983) (Rng.int c 999983)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bitset vs sorted-list oracle. *)
+
+let oracle_next_from l i = match List.find_opt (fun x -> x >= i) l with
+  | Some x -> x
+  | None -> -1
+
+let check_same_view ~cap bs oracle =
+  Helpers.check_int "cardinal" (List.length oracle) (Bitset.cardinal bs);
+  Helpers.check_bool "is_empty" (oracle = []) (Bitset.is_empty bs);
+  Helpers.check_bool "to_list" true (Bitset.to_list bs = oracle);
+  for i = 0 to cap - 1 do
+    Helpers.check_bool "mem" (List.mem i oracle) (Bitset.mem bs i)
+  done;
+  for i = -1 to cap do
+    Helpers.check_int "next_set_from" (oracle_next_from oracle i)
+      (Bitset.next_set_from bs i)
+  done
+
+let test_bitset_oracle () =
+  let rng = Rng.create ~seed:2024 in
+  List.iter
+    (fun cap ->
+      let bs = Bitset.create cap in
+      let oracle = ref [] in
+      for _ = 1 to 400 do
+        let i = Rng.int rng cap in
+        (match Rng.int rng 3 with
+        | 0 ->
+            Bitset.add bs i;
+            if not (List.mem i !oracle) then
+              oracle := List.sort compare (i :: !oracle)
+        | 1 ->
+            Bitset.remove bs i;
+            oracle := List.filter (fun x -> x <> i) !oracle
+        | _ ->
+            if Rng.bool rng 0.05 then begin
+              Bitset.clear bs;
+              oracle := []
+            end);
+        if Rng.bool rng 0.1 then check_same_view ~cap bs oracle.contents
+      done;
+      check_same_view ~cap bs !oracle)
+    [ 1; 7; 31; 32; 33; 63; 64; 65; 96; 128; 200 ]
+
+let test_bitset_edges () =
+  let bs = Bitset.create 65 in
+  Helpers.check_int "empty next" (-1) (Bitset.next_set_from bs 0);
+  Bitset.add bs 64;
+  Helpers.check_int "last bit" 64 (Bitset.next_set_from bs 0);
+  Helpers.check_int "from last" 64 (Bitset.next_set_from bs 64);
+  Helpers.check_int "past last" (-1) (Bitset.next_set_from bs 65);
+  Bitset.add bs 64;
+  Helpers.check_int "idempotent add" 1 (Bitset.cardinal bs);
+  Bitset.remove bs 3;
+  Helpers.check_int "idempotent remove" 1 (Bitset.cardinal bs);
+  Alcotest.check_raises "oob mem" (Invalid_argument "Bitset.mem") (fun () ->
+      ignore (Bitset.mem bs 65));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Bitset.create: capacity must be positive") (fun () ->
+      ignore (Bitset.create 0))
+
+(* ------------------------------------------------------------------ *)
+(* Freelist exhaustion and reuse. *)
+
+let test_freelist_exhaustion_reuse () =
+  let module F = Occamy_coproc.Freelist in
+  let f = F.create ~name:"t" ~depth:8 ~pinned:3 in
+  Helpers.check_int "capacity" 5 (F.capacity f);
+  for i = 1 to 5 do
+    Helpers.check_bool "alloc ok" true (F.alloc f);
+    Helpers.check_int "in_use" i (F.in_use f)
+  done;
+  Helpers.check_bool "exhausted" false (F.alloc f);
+  Helpers.check_bool "exhausted again" false (F.alloc f);
+  Helpers.check_int "failed_allocs" 2 (F.failed_allocs f);
+  F.record_failures f ~count:3;
+  Helpers.check_int "batched failures" 5 (F.failed_allocs f);
+  Helpers.check_int "peak" 5 (F.peak_in_use f);
+  F.release f;
+  Helpers.check_int "freed one" 4 (F.in_use f);
+  Helpers.check_bool "reuse after release" true (F.alloc f);
+  Helpers.check_bool "full again" false (F.alloc f);
+  F.release_all f;
+  Helpers.check_int "release_all" 0 (F.in_use f);
+  Helpers.check_int "peak sticky" 5 (F.peak_in_use f);
+  Helpers.check_bool "reusable after release_all" true (F.alloc f)
+
+(* ------------------------------------------------------------------ *)
+(* Zero allocation in steady state: drive the dense motivating pair
+   core-by-core with [Sim.step] and assert that some full 1000-cycle
+   chunk allocates nothing at all. Rare events (phase boundaries,
+   reconfiguration, trace-episode bookkeeping) may allocate, so the
+   assertion is on the minimum chunk delta, which the dense steady
+   state must bring to exactly zero. *)
+
+let test_zero_alloc_steady_state () =
+  let wls = Occamy_workloads.Motivating.pair () in
+  let sim = Sim.create ~arch:Arch.Occamy wls in
+  (* Warm up past compilation/startup transients. *)
+  for _ = 1 to 2000 do Sim.step sim done;
+  let min_delta = ref infinity in
+  for _chunk = 1 to 10 do
+    let before = Gc.minor_words () in
+    for _ = 1 to 1000 do Sim.step sim done;
+    let delta = Gc.minor_words () -. before in
+    if delta < !min_delta then min_delta := delta
+  done;
+  if !min_delta <> 0.0 then
+    Alcotest.failf
+      "dense steady state allocates: best 1000-cycle chunk = %.0f minor words"
+      !min_delta
+
+let suites =
+  [
+    ( "dod",
+      [
+        Alcotest.test_case "rng matches int64 reference" `Quick
+          test_rng_matches_reference;
+        Alcotest.test_case "rng split matches reference" `Quick
+          test_rng_split_matches_reference;
+        Alcotest.test_case "rng copy lockstep" `Quick test_rng_copy;
+        Alcotest.test_case "bitset vs list oracle" `Quick test_bitset_oracle;
+        Alcotest.test_case "bitset edges" `Quick test_bitset_edges;
+        Alcotest.test_case "freelist exhaustion/reuse" `Quick
+          test_freelist_exhaustion_reuse;
+        Alcotest.test_case "zero-alloc steady state" `Quick
+          test_zero_alloc_steady_state;
+      ] );
+  ]
