@@ -185,6 +185,31 @@ let profile_folded_arg =
            architecture when running all four, architecture name \
            suffixed before the extension).")
 
+let attrib_arg =
+  Arg.(
+    value & flag
+    & info [ "attrib" ]
+        ~doc:
+          "Top-down cycle accounting: attribute every simulated cycle of \
+           every core to one bottleneck bucket (issuing, lane-starved, \
+           reconfig-blocked, LSU levels, MOB conflict, ...) and print a \
+           per-core breakdown table plus an ASCII stacked time-series per \
+           architecture. The accounting is observational — simulation \
+           results are bit-identical with or without this flag.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics (counters plus attribution counts and \
+           shares) to $(docv) as OpenMetrics/Prometheus text exposition \
+           format, or as a flat JSON object when $(docv) ends in .json. \
+           Implies cycle accounting. With all four architectures, one \
+           file per architecture is written with the architecture name \
+           suffixed before the extension.")
+
 (* --perf mode: time naive vs fast-forward on the selected pair and
    persist the samples. Timings must not contend, so this path is
    sequential and ignores --jobs. *)
@@ -213,18 +238,21 @@ let arch_path path ~multi a =
 
 let run_archs ?cfg ?jobs ?oversubscribe ?(trace_json = None)
     ?(trace_csv = None) ?(gantt = false) ?(profile = false)
-    ?(profile_folded = None) arch wls_of =
+    ?(profile_folded = None) ?(attrib = false) ?(metrics_out = None) arch
+    wls_of =
   let archs = match arch with Some a -> [ a ] | None -> Arch.all in
   let multi = List.length archs > 1 in
   let want_trace = trace_json <> None || trace_csv <> None || gantt in
   let want_prof = profile || profile_folded <> None in
+  let want_attrib = attrib || metrics_out <> None in
   let cores =
     (match cfg with Some c -> c | None -> Config.default).Config.cores
   in
   (* Compile once; the simulator treats workloads as read-only, so the
      same compiled value feeds every (possibly concurrent) simulation.
-     Each simulation owns its trace and profiler (created inside the
-     worker), so recording stays single-writer even under -j N. *)
+     Each simulation owns its trace, profiler and attribution recorder
+     (created inside the worker), so recording stays single-writer even
+     under -j N. *)
   let wls = wls_of () in
   let results =
     Occamy_util.Domain_pool.map ?jobs ?oversubscribe
@@ -237,7 +265,13 @@ let run_archs ?cfg ?jobs ?oversubscribe ?(trace_json = None)
           if want_prof then Occamy_obs.Prof.create ()
           else Occamy_obs.Prof.disabled
         in
-        (a, (Sim.simulate ?cfg ~trace ~prof ~arch:a wls, (trace, prof))))
+        let at =
+          if want_attrib then Occamy_obs.Attrib.create ~cores ()
+          else Occamy_obs.Attrib.disabled
+        in
+        ( a,
+          (Sim.simulate ?cfg ~trace ~prof ~attrib:at ~arch:a wls,
+           (trace, prof, at)) ))
       archs
   in
   let baseline =
@@ -245,9 +279,44 @@ let run_archs ?cfg ?jobs ?oversubscribe ?(trace_json = None)
     else None
   in
   List.iter (fun (_, (r, _)) -> print_result ?baseline r) results;
+  if attrib then
+    List.iter
+      (fun (a, (_, (_, _, at))) ->
+        Table.print
+          (Occamy_obs.Attrib.summary_table
+             ~title:(Fmt.str "%a cycle accounting" Arch.pp a)
+             at);
+        print_string (Occamy_obs.Attrib.render_timeseries at))
+      results;
+  Option.iter
+    (fun path ->
+      List.iter
+        (fun (a, (r, (_, _, at))) ->
+          let path = arch_path path ~multi a in
+          let counters = Metrics.counters r in
+          let contents =
+            if Filename.extension path = ".json" then
+              (* The counters registry already carries the attribution
+                 counts and shares (Metrics.populate_counters), so only
+                 the window metadata is added on top. *)
+              Occamy_util.Json.obj_to_string
+                (Occamy_obs.Counters.to_json counters
+                @ List.filter
+                    (fun (k, _) -> String.length k >= 7
+                                   && String.sub k 0 7 = "attrib.")
+                    (Occamy_obs.Attrib.json_fields at))
+            else
+              Occamy_obs.Openmetrics.render
+                (Occamy_obs.Openmetrics.of_attrib at
+                @ Occamy_obs.Openmetrics.of_counters counters)
+          in
+          Occamy_util.Json.write_file ~path contents;
+          Fmt.pr "wrote %s@." path)
+        results)
+    metrics_out;
   if profile then
     List.iter
-      (fun (a, (_, (_, prof))) ->
+      (fun (a, (_, (_, prof, _))) ->
         Table.print
           (Occamy_obs.Prof.summary_table
              ~title:
@@ -261,18 +330,18 @@ let run_archs ?cfg ?jobs ?oversubscribe ?(trace_json = None)
   Option.iter
     (fun path ->
       List.iter
-        (fun (a, (_, (_, prof))) ->
+        (fun (a, (_, (_, prof, _))) ->
           let path = arch_path path ~multi a in
           Occamy_util.Json.write_file ~path (Occamy_obs.Prof.folded prof);
           Fmt.pr "wrote %s@." path)
         results)
     profile_folded;
   List.iter
-    (fun (a, (_, (trace, _))) ->
+    (fun (a, (_, (trace, _, at))) ->
       Option.iter
         (fun path ->
           let path = arch_path path ~multi a in
-          Occamy_obs.Chrome_trace.write_json ~path trace;
+          Occamy_obs.Chrome_trace.write_json ~attrib:at ~path trace;
           Fmt.pr "wrote %s@." path)
         trace_json;
       Option.iter
@@ -301,7 +370,7 @@ let run_cmd =
              e.g. ocv:6+1.")
   in
   let run pair arch jobs max_jobs osub trace_json trace_csv gantt perf
-      profile profile_folded =
+      profile profile_folded attrib metrics_out =
     let lookup label =
       if String.length label > 4 && String.sub label 0 4 = "ocv:" then
         let l = String.sub label 4 (String.length label - 4) in
@@ -323,7 +392,7 @@ let run_cmd =
         run_archs
           ~jobs:(resolve_jobs ?cap:max_jobs jobs)
           ?oversubscribe:(resolve_oversubscribe osub) ~trace_json ~trace_csv
-          ~gantt ~profile ~profile_folded arch wls_of;
+          ~gantt ~profile ~profile_folded ~attrib ~metrics_out arch wls_of;
       `Ok ()
   in
   Cmd.v
@@ -332,25 +401,26 @@ let run_cmd =
       ret
         (const run $ pair_arg $ arch_arg $ jobs_arg $ max_jobs_arg
        $ oversubscribe_arg $ trace_arg $ trace_csv_arg $ gantt_arg
-       $ perf_arg $ profile_arg $ profile_folded_arg))
+       $ perf_arg $ profile_arg $ profile_folded_arg $ attrib_arg
+       $ metrics_out_arg))
 
 let motivating_cmd =
   let run arch jobs max_jobs osub trace_json trace_csv gantt perf profile
-      profile_folded =
+      profile_folded attrib metrics_out =
     let wls_of () = Occamy_workloads.Motivating.pair () in
     if perf then run_perf ~name:"motivating" arch wls_of
     else
       run_archs
         ~jobs:(resolve_jobs ?cap:max_jobs jobs)
         ?oversubscribe:(resolve_oversubscribe osub) ~trace_json ~trace_csv
-        ~gantt ~profile ~profile_folded arch wls_of
+        ~gantt ~profile ~profile_folded ~attrib ~metrics_out arch wls_of
   in
   Cmd.v
     (Cmd.info "motivating" ~doc:"Run the Figure 2 motivating example")
     Term.(
       const run $ arch_arg $ jobs_arg $ max_jobs_arg $ oversubscribe_arg
       $ trace_arg $ trace_csv_arg $ gantt_arg $ perf_arg $ profile_arg
-      $ profile_folded_arg)
+      $ profile_folded_arg $ attrib_arg $ metrics_out_arg)
 
 (* ---------------- list --------------------------------------------- *)
 

@@ -10,6 +10,7 @@ module Sim = Occamy_core.Sim
 module Metrics = Occamy_core.Metrics
 module Workload = Occamy_core.Workload
 module Trace = Occamy_obs.Trace
+module Attrib = Occamy_obs.Attrib
 
 type case = {
   case_seed : int;
@@ -206,12 +207,17 @@ let run_sim ~arch ~cfg ~expected_bytes wl =
   match
     let workloads = List.init cfg.Config.cores (fun _ -> wl) in
     (* Run both tick loops — naive and event-horizon fast-forwarding —
-       so every fuzz case doubles as a sim-vs-sim equivalence check. *)
+       so every fuzz case doubles as a sim-vs-sim equivalence check.
+       Cycle accounting is enabled on both: the in-run conservation
+       self-check fires as a Simulation_error, and the attribution rows
+       land in Metrics.attrib where check_equivalent/check_metrics hold
+       the two loops to bit-identical accounts. *)
     let run fast_forward =
       let trace = Trace.for_sim ~cores:cfg.Config.cores () in
+      let attrib = Attrib.create ~cores:cfg.Config.cores () in
       let m =
-        Sim.simulate ~cfg:{ cfg with Config.fast_forward } ~trace ~arch
-          workloads
+        Sim.simulate ~cfg:{ cfg with Config.fast_forward } ~trace ~attrib
+          ~arch workloads
       in
       (m, trace)
     in

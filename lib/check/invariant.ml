@@ -69,6 +69,43 @@ let check_core ~cfg total_cycles (c : Metrics.core_result) =
         c.issued_mem
     else Ok ()
 
+(* Top-down cycle-accounting conservation: when attribution ran, every
+   row covers one core, entries are non-negative, every core's buckets
+   sum to the same simulated cycle count, and that count is at least the
+   reported total (the run may drain past the last finish). [[||]]
+   passes vacuously — attribution was off. *)
+let check_attrib ~cfg (m : Metrics.t) =
+  let open Metrics in
+  let a = m.attrib in
+  if Array.length a = 0 then Ok ()
+  else if Array.length a <> cfg.Config.cores then
+    failf "attribution covers %d cores, machine has %d" (Array.length a)
+      cfg.Config.cores
+  else if
+    Array.exists
+      (fun row -> Array.length row <> Occamy_obs.Attrib.num_buckets)
+      a
+  then
+    failf "attribution row does not cover the %d buckets"
+      Occamy_obs.Attrib.num_buckets
+  else if Array.exists (Array.exists (fun v -> v < 0)) a then
+    failf "negative cycle count in attribution"
+  else begin
+    let sum row = Array.fold_left ( + ) 0 row in
+    let cycles = sum a.(0) in
+    match
+      Array.find_index (fun row -> sum row <> cycles) a
+    with
+    | Some i ->
+      failf "attribution not conserved: core0 accounts %d cycles, core%d %d"
+        cycles i (sum a.(i))
+    | None ->
+      if cycles < m.total_cycles then
+        failf "attribution accounts %d cycles, run reports %d" cycles
+          m.total_cycles
+      else Ok ()
+  end
+
 let check_metrics ~cfg (m : Metrics.t) =
   let open Metrics in
   let lanes = float_of_int (Config.total_lanes cfg) in
@@ -95,6 +132,7 @@ let check_metrics ~cfg (m : Metrics.t) =
     failf "metrics cover %d cores, machine has %d" (Array.length m.cores)
       cfg.Config.cores
   else
+    let* () = check_attrib ~cfg m in
     all_ok
       (Array.to_list (Array.map (check_core ~cfg m.total_cycles) m.cores))
 

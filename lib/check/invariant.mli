@@ -19,9 +19,19 @@
       their core's totals, and the counters registry agrees with the
       record it was populated from. *)
 
+val check_attrib :
+  cfg:Occamy_core.Config.t -> Occamy_core.Metrics.t -> (unit, string) result
+(** Top-down cycle-accounting conservation on [Metrics.attrib]: one row
+    per core, non-negative entries, every core's buckets summing to the
+    same simulated cycle count, and that count at least [total_cycles]
+    (the run may drain past the last finish). An empty array — a run
+    with attribution disabled — passes vacuously. Included in
+    {!check_metrics}. *)
+
 val check_metrics :
   cfg:Occamy_core.Config.t -> Occamy_core.Metrics.t -> (unit, string) result
-(** Range and consistency checks on the metrics record itself. *)
+(** Range and consistency checks on the metrics record itself,
+    including {!check_attrib}. *)
 
 val check_counters : Occamy_core.Metrics.t -> (unit, string) result
 (** Re-derives a sample of counters from the record and compares against

@@ -50,6 +50,9 @@ type t = {
   mem_accesses : int array;       (* accesses served per level (Level.depth) *)
   mem_bytes : float array;        (* bytes served per level (Level.depth) *)
   bucket_width : int;
+  attrib : int array array;       (* per-core cycle-accounting rows
+                                     (Occamy_obs.Attrib bucket order);
+                                     [||] when attribution was disabled *)
 }
 
 let core_finish t c = t.cores.(c).finish
@@ -133,6 +136,21 @@ let populate_counters reg t =
       seti (p "lsu_peak_loads") c.lsu_peak_loads;
       seti (p "lsu_peak_stores") c.lsu_peak_stores;
       seti (p "phases") (List.length c.phases);
+      if Array.length t.attrib > 0 then begin
+        let row = t.attrib.(c.core) in
+        let tot = Array.fold_left ( + ) 0 row in
+        List.iter
+          (fun b ->
+            let v = row.(Occamy_obs.Attrib.index b) in
+            let key suffix =
+              p (Printf.sprintf "attrib.%s%s" (Occamy_obs.Attrib.name b) suffix)
+            in
+            seti (key "") v;
+            set (key ".share")
+              (if tot = 0 then 0.0
+               else 100.0 *. float_of_int v /. float_of_int tot))
+          Occamy_obs.Attrib.all
+      end;
       List.iter
         (fun ph ->
           let pp name = p (Printf.sprintf "phase.%s.%s" ph.ps_name name) in

@@ -47,6 +47,10 @@ type t = {
   mem_accesses : int array;  (** accesses served per level, by [Level.depth] *)
   mem_bytes : float array;   (** bytes served per level, by [Level.depth] *)
   bucket_width : int;
+  attrib : int array array;
+      (** per-core top-down cycle-accounting rows in
+          {!Occamy_obs.Attrib} bucket order — each row sums to the
+          simulated cycle count; [[||]] when attribution was disabled *)
 }
 
 val core_finish : t -> int -> int

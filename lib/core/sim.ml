@@ -58,6 +58,7 @@ module Buckets = Occamy_util.Stats.Buckets
 module Trace = Occamy_obs.Trace
 module Event = Occamy_obs.Event
 module Prof = Occamy_obs.Prof
+module Attrib = Occamy_obs.Attrib
 
 (* ------------------------------------------------------------------ *)
 (* In-flight instruction representation                                *)
@@ -279,6 +280,14 @@ type t = {
   obs_prev_stalls : int array;  (* rename_stalls at the last episode scan *)
   obs_stall_start : int array;  (* open stall episode start, -1 if none *)
   obs_req_cycle : int array;    (* cycle of the pending MSR <VL>, -1 *)
+  (* -------- top-down cycle accounting (also observational) ---------- *)
+  at_on : bool;                 (* hoisted Attrib.enabled: one branch/cycle *)
+  attrib : Attrib.t;
+  at_prev_issued : int array;   (* issued_compute+issued_mem last cycle *)
+  at_prev_stalls : int array;   (* rename_stalls last cycle *)
+  at_mob_blocked : bool array;  (* a ready mem uop hit a MOB conflict this
+                                   cycle (set by the dispatch sweep) *)
+  at_ff_buckets : int array;    (* scratch: per-core bucket for an FF jump *)
 }
 
 let src = Logs.Src.create "occamy.sim" ~doc:"cycle-level simulator events"
@@ -424,8 +433,8 @@ let make_core cfg arch ~shared_freelist id wl =
   }
 
 let create ?(cfg = Config.default) ?(trace = Trace.disabled)
-    ?(prof = Prof.disabled) ?decisions ?(context_switches = []) ~arch
-    workloads =
+    ?(prof = Prof.disabled) ?(attrib = Attrib.disabled) ?decisions
+    ?(context_switches = []) ~arch workloads =
   let cfg = Config.validate cfg in
   if Trace.enabled trace && Trace.num_tracks trace < cfg.cores + 1 then
     invalid_arg
@@ -433,6 +442,11 @@ let create ?(cfg = Config.default) ?(trace = Trace.disabled)
          "Sim.create: trace has %d tracks, need %d (one per core + LaneMgr; \
           use Trace.for_sim)"
          (Trace.num_tracks trace) (cfg.cores + 1));
+  if Attrib.enabled attrib && Attrib.cores attrib < cfg.cores then
+    invalid_arg
+      (Printf.sprintf
+         "Sim.create: attrib recorder covers %d cores, need %d"
+         (Attrib.cores attrib) cfg.cores);
   let n = List.length workloads in
   if n <> cfg.cores then
     invalid_arg
@@ -562,6 +576,12 @@ let create ?(cfg = Config.default) ?(trace = Trace.disabled)
     obs_prev_stalls = Array.make cfg.cores 0;
     obs_stall_start = Array.make cfg.cores (-1);
     obs_req_cycle = Array.make cfg.cores (-1);
+    at_on = Attrib.enabled attrib;
+    attrib;
+    at_prev_issued = Array.make cfg.cores 0;
+    at_prev_stalls = Array.make cfg.cores 0;
+    at_mob_blocked = Array.make cfg.cores false;
+    at_ff_buckets = Array.make cfg.cores 0;
   }
 
 let[@inline] domain t core = if t.shares_ports then 0 else core
@@ -1303,12 +1323,18 @@ let attempt_issue t c ~dom ~units ~n slot =
   end
   else begin
     let is_store = kind = k_store in
-    if
-      mem_possible t c ~dom ~is_store
-      && not
-           (Mob.conflicts t.mob ~arr:c.w_arr.(slot) ~base:c.w_base.(slot)
-              ~len:c.w_elems.(slot) ~is_store)
-    then begin
+    (* Same evaluation order as the former [mem_possible && not conflicts]
+       conjunction; split so the conflict case can inform the
+       cycle-accounting classifier that a ready uop was held back purely
+       by memory ordering. *)
+    if mem_possible t c ~dom ~is_store then
+      if
+        Mob.conflicts t.mob ~arr:c.w_arr.(slot) ~base:c.w_base.(slot)
+          ~len:c.w_elems.(slot) ~is_store
+      then begin
+        if t.at_on then t.at_mob_blocked.(c.id) <- true
+      end
+      else begin
       t.sc_load <- -1;
       t.sc_store <- -1;
       t.mem_budget.(dom) <- t.mem_budget.(dom) - 1;
@@ -1340,7 +1366,7 @@ let attempt_issue t c ~dom ~units ~n slot =
       c.w_done.(slot) <- (if is_store then t.cycle else done_at);
       c.w_mob.(slot) <- mslot;
       record_mem_issue t c
-    end
+      end
   end
 
 let try_issue t c ~dom ~units ~n slot =
@@ -1611,6 +1637,46 @@ let step_context_switch t c =
         c.cs_state <- Cs_running
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Top-down cycle accounting                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Why did core [c] spend the cycle that just ended the way it did?
+   Exactly one bucket, first match wins. Inputs are end-of-cycle state
+   plus per-cycle deltas ([at_prev_issued]/[at_prev_stalls]) and the
+   dispatch sweep's MOB-conflict flag. The fast-forward loop batches
+   the same cascade over provably-inert stretches (see
+   [fast_forward_to]); the naive-vs-FF bit-identity suites hold the two
+   paths to equality, and [run] checks that every core's buckets sum to
+   exactly the simulated cycle count. *)
+let classify_core t c =
+  if not (cs_is_running c) then Attrib.Ctx_switch
+  else if c.pending_vl >= 0 && not c.halted then Attrib.Reconfig_blocked
+  else if (not c.halted) && c.vl > 0 && c.vl < Rtbl.decision t.rtbl ~core:c.id
+  then
+    (* Running below the manager's current decision for this core: the
+       elastic-sharing lag the paper's figures are about. Never fires on
+       Private/FTS, whose decisions are static. *)
+    Attrib.Lane_starved
+  else if c.issued_compute + c.issued_mem > t.at_prev_issued.(c.id) then
+    Attrib.Issuing
+  else if c.rename_stalls > t.at_prev_stalls.(c.id) then Attrib.Rename_stall
+  else if c.pending_red && not c.halted then Attrib.Exe_latency
+  else if Lsu.outstanding c.lsu > 0 then Attrib.of_level c.cur_level
+  else if t.at_mob_blocked.(c.id) then Attrib.Mob_conflict
+  else if c.w_head < c.w_tail || c.p_head < c.p_tail then Attrib.Exe_latency
+  else if c.halted then Attrib.Idle
+  else Attrib.Scalar
+
+let classify_cores t =
+  for i = 0 to Array.length t.cores - 1 do
+    let c = t.cores.(i) in
+    Attrib.add t.attrib ~core:i ~cycle:t.cycle (classify_core t c);
+    t.at_prev_issued.(i) <- c.issued_compute + c.issued_mem;
+    t.at_prev_stalls.(i) <- c.rename_stalls;
+    t.at_mob_blocked.(i) <- false
+  done
+
 let step t =
   t.cycle <- t.cycle + 1;
   Prof.begin_cycle t.prof;
@@ -1678,6 +1744,7 @@ let step t =
   end;
   if pr then Prof.enter t.prof Prof.Sample;
   sample_stats t;
+  if t.at_on then classify_cores t;
   if t.cycle land 1023 = 0 then check_invariants t;
   if pr then Prof.exit t.prof
 
@@ -1845,6 +1912,50 @@ let horizon t =
   done;
   t.hz_ev
 
+(* Would the naive loop's dispatch sweep have flagged a MOB conflict
+   for [c] on each cycle of an inert stretch? Mirrors the horizon scan's
+   memory branch plus [mem_possible]'s port gate: a dep-ready unissued
+   memory entry the LSU could accept into a non-full MOB, held back only
+   by an address conflict. Window/LSU/MOB state is constant across the
+   stretch (heap-parked entries have ready times past its end — the
+   horizon noted them as events), so one scan answers for every skipped
+   cycle. Allocation-free, like the rest of the FF path. *)
+let ff_mob_scan t c =
+  let now = t.cycle in
+  let rec scan q =
+    if q >= c.w_tail then false
+    else begin
+      let s = q land c.w_mask in
+      if
+        Bitset.mem c.w_unissued s
+        && c.w_kind.(s) < k_compute
+        && dep_issued c c.w_s1.(s)
+        && dep_issued c c.w_s2.(s)
+        && dep_issued c c.w_s3.(s)
+      then begin
+        let rdy =
+          let r1 = dep_done_at c c.w_s1.(s) in
+          let r2 = dep_done_at c c.w_s2.(s) in
+          let r3 = dep_done_at c c.w_s3.(s) in
+          let m = if r1 > r2 then r1 else r2 in
+          if m > r3 then m else r3
+        in
+        let is_store = c.w_kind.(s) = k_store in
+        if
+          rdy <= now
+          && t.cfg.mem_ports > 0
+          && Lsu.can_accept c.lsu ~is_store
+          && (not (Mob.is_full t.mob))
+          && Mob.conflicts t.mob ~arr:c.w_arr.(s) ~base:c.w_base.(s)
+               ~len:c.w_elems.(s) ~is_store
+        then true
+        else scan (q + 1)
+      end
+      else scan (q + 1)
+    end
+  in
+  scan c.w_head
+
 (* Jump to [target] (exclusive of the step that will execute
    [target + 1]), batching exactly the per-cycle effects the naive loop
    would have accumulated over cycles [t.cycle+1 .. target]. *)
@@ -1856,7 +1967,8 @@ let fast_forward_to t ~target =
     if cs_is_running c && (not c.halted) && c.pending_vl >= 0 then
       c.blocked_vl_cycles <- c.blocked_vl_cycles + k;
     (* Deterministic rename stall: one failed allocation per cycle. *)
-    (match rename_quiescence t c with
+    let rq = rename_quiescence t c in
+    (match rq with
     | Rq_stalled ->
       c.rename_stalls <- c.rename_stalls + k;
       (match c.cur_phase with
@@ -1880,8 +1992,38 @@ let fast_forward_to t ~target =
         pa.pa_vl_sum <- pa.pa_vl_sum + (k * c.vl);
         pa.pa_cycles <- pa.pa_cycles + k
       | None -> ()
+    end;
+    if t.at_on then begin
+      (* [classify_core]'s cascade over state that is constant for the
+         whole stretch. Nothing issues during a skip, so the Issuing
+         test is statically false; the rename-stall delta is [rq]; the
+         dispatch sweep's conflict flag becomes [ff_mob_scan]. *)
+      let b =
+        if not (cs_is_running c) then Attrib.Ctx_switch
+        else if c.pending_vl >= 0 && not c.halted then Attrib.Reconfig_blocked
+        else if
+          (not c.halted) && c.vl > 0 && c.vl < Rtbl.decision t.rtbl ~core:c.id
+        then Attrib.Lane_starved
+        else if rq = Rq_stalled then Attrib.Rename_stall
+        else if c.pending_red && not c.halted then Attrib.Exe_latency
+        else if Lsu.outstanding c.lsu > 0 then Attrib.of_level c.cur_level
+        else if ff_mob_scan t c then Attrib.Mob_conflict
+        else if c.w_head < c.w_tail || c.p_head < c.p_tail then
+          Attrib.Exe_latency
+        else if c.halted then Attrib.Idle
+        else Attrib.Scalar
+      in
+      t.at_ff_buckets.(i) <- Attrib.index b;
+      (* Resync the per-cycle deltas the naive classifier keeps: the
+         batched stalls above must not read as a fresh stall on the
+         first real step after the jump. *)
+      t.at_prev_issued.(i) <- c.issued_compute + c.issued_mem;
+      t.at_prev_stalls.(i) <- c.rename_stalls
     end
   done;
+  if t.at_on then
+    Attrib.add_run_all t.attrib ~start_cycle:(t.cycle + 1) ~len:k
+      ~buckets:t.at_ff_buckets;
   (* The naive loop checks invariants at multiples of 1024; state is
      constant across the jump, so one check at the far end is
      equivalent whenever the jump crosses such a boundary. *)
@@ -1964,6 +2106,19 @@ let run t =
     error "simulation exceeded %d cycles (deadlock or runaway loop?)"
       t.cfg.max_cycles;
   check_invariants t;
+  if t.at_on then
+    (* Conservation: the classifier attributes every core-cycle to
+       exactly one bucket, so each core's row must sum to the simulated
+       cycle count — on both loops, which the equivalence suites then
+       hold bit-identical. *)
+    for i = 0 to Array.length t.cores - 1 do
+      let s = Attrib.core_total t.attrib ~core:i in
+      if s <> t.cycle then
+        error
+          "cycle accounting leak: core%d buckets sum to %d over %d \
+           simulated cycles"
+          i s t.cycle
+    done;
   if tracing t then
     (* Close any stall episode still open at the horizon. *)
     Array.iter (fun c -> trace_end_stall_episode t c ~upto:t.cycle) t.cores;
@@ -1990,6 +2145,7 @@ let run t =
     mem_accesses;
     mem_bytes;
     bucket_width = t.bucket_width;
+    attrib = (if t.at_on then Attrib.counts t.attrib else [||]);
   }
 
 (** Convenience: build and run in one call.
@@ -2004,8 +2160,12 @@ let run t =
     compile each pair once and share it across the four architecture
     simulations (see the "workload reuse" and "parallel determinism"
     tests). *)
-let simulate ?cfg ?trace ?prof ?decisions ?context_switches ~arch workloads =
-  let t = create ?cfg ?trace ?prof ?decisions ?context_switches ~arch workloads in
+let simulate ?cfg ?trace ?prof ?attrib ?decisions ?context_switches ~arch
+    workloads =
+  let t =
+    create ?cfg ?trace ?prof ?attrib ?decisions ?context_switches ~arch
+      workloads
+  in
   run t
 
 let cycle t = t.cycle
@@ -2013,6 +2173,7 @@ let config t = t.cfg
 let skipped_cycles t = t.ff_skipped
 let ff_jumps t = t.ff_jumps
 let prof t = t.prof
+let attrib t = t.attrib
 
 let stage_work t =
   let sum f = Array.fold_left (fun acc c -> acc + f c) 0 t.cores in

@@ -24,6 +24,7 @@ exception Simulation_error of string
 
 val create :
   ?cfg:Config.t -> ?trace:Occamy_obs.Trace.t -> ?prof:Occamy_obs.Prof.t ->
+  ?attrib:Occamy_obs.Attrib.t ->
   ?decisions:int array -> ?context_switches:(int * int) list ->
   arch:Arch.t -> Workload.t list -> t
 (** One workload per configured core. [decisions] forces a static
@@ -52,13 +53,28 @@ val create :
     results are bit-identical with profiling on or off, and a disabled
     profiler costs one branch per site. Profiled stage totals are only
     complete when the simulation runs through {!run}/{!simulate} (the
-    per-cycle residual is closed there, not in {!step}). *)
+    per-cycle residual is closed there, not in {!step}).
+
+    [attrib] (default {!Occamy_obs.Attrib.disabled}) records top-down
+    cycle accounting: every simulated cycle of every core is attributed
+    to exactly one cause bucket (issuing, lane-starved,
+    reconfig-blocked, rename-stalled, LSU-bound by memory level,
+    MOB-conflicted, execution latency, context switch, scalar, idle),
+    batched across fast-forward jumps. It must cover at least
+    [cfg.cores] cores. Attribution is observational like [trace] and
+    [prof]: timing results are bit-identical with it on or off, a
+    disabled recorder costs one branch per cycle, and an enabled one
+    allocates nothing in steady state. {!run} checks conservation (each
+    core's buckets sum to exactly the simulated cycle count) and copies
+    the rows into [Metrics.attrib], so the naive-vs-FF equivalence
+    suites hold both loops to bit-identical accounts. *)
 
 val run : t -> Metrics.t
 (** Run to completion of every workload. *)
 
 val simulate :
   ?cfg:Config.t -> ?trace:Occamy_obs.Trace.t -> ?prof:Occamy_obs.Prof.t ->
+  ?attrib:Occamy_obs.Attrib.t ->
   ?decisions:int array -> ?context_switches:(int * int) list ->
   arch:Arch.t -> Workload.t list -> Metrics.t
 (** [create] + [run]. *)
@@ -83,6 +99,11 @@ val ff_jumps : t -> int
 val prof : t -> Occamy_obs.Prof.t
 (** The profiler passed at [create] ({!Occamy_obs.Prof.disabled} when
     none); read its stats after {!run}. *)
+
+val attrib : t -> Occamy_obs.Attrib.t
+(** The cycle-accounting recorder passed at [create]
+    ({!Occamy_obs.Attrib.disabled} when none); read its buckets,
+    time-series windows and renderers after {!run}. *)
 
 val stage_work : t -> (string * float) list
 (** Work counters correlated with the profiler's stages, summed over

@@ -72,6 +72,31 @@ let pairs_csv (t : Fig10.t) =
   in
   buf_csv (header :: rows)
 
+(** One row per (arch, core, bucket): the top-down cycle-accounting
+    breakdown of the motivating pair, for stacked-bar plots. *)
+let attrib_csv () =
+  let rows = ref [ [ "arch"; "core"; "bucket"; "cycles"; "share_pct" ] ] in
+  List.iter
+    (fun arch ->
+      let r = Attrib_run.run_pair ~arch () in
+      let a = r.Attrib_run.ar_attrib in
+      for core = 0 to Occamy_obs.Attrib.cores a - 1 do
+        List.iter
+          (fun b ->
+            rows :=
+              [
+                Arch.name arch;
+                string_of_int core;
+                Occamy_obs.Attrib.name b;
+                string_of_int (Occamy_obs.Attrib.count a ~core b);
+                Printf.sprintf "%.2f" (Occamy_obs.Attrib.share a ~core b);
+              ]
+              :: !rows)
+          Occamy_obs.Attrib.all
+      done)
+    Arch.all;
+  buf_csv (List.rev !rows)
+
 let table3_csv () =
   let rows =
     List.map
@@ -88,8 +113,8 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 (** Write the full figure-data set into [dir] (created if missing):
-    `fig2_<arch>.csv`, `pairs.csv`, `table3.csv`. Returns the file
-    names. *)
+    `fig2_<arch>.csv`, `pairs.csv`, `table3.csv`, `attrib.csv`. Returns
+    the file names. *)
 let write_all ~dir ?tc_scale ?jobs ?oversubscribe () =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let files = ref [] in
@@ -108,4 +133,5 @@ let write_all ~dir ?tc_scale ?jobs ?oversubscribe () =
     Arch.all;
   emit "pairs.csv" (pairs_csv (Fig10.run ?tc_scale ?jobs ?oversubscribe ()));
   emit "table3.csv" (table3_csv ());
+  emit "attrib.csv" (attrib_csv ());
   List.rev !files

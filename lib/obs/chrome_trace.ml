@@ -78,7 +78,37 @@ let event_objs ~tid ~cycle (ev : Event.t) =
         ~tid ~args () ]
   | ev -> [ obj ~name:(Event.kind ev) ~ph:"i" ~ts:cycle ~tid ~args () ]
 
-let to_json trace =
+(* Counter ("C") events need *numeric* args values to chart — the
+   string-valued [json_args] above would render as flat zero lines. *)
+let counter_obj ~name ~ts ~tid args =
+  Printf.sprintf "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"args\":{%s}}"
+    (escape name) tid ts
+    (String.concat ","
+       (List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\":%d" (escape k) v)
+          args))
+
+(* One counter event per completed attribution window (stamped at the
+   window's end cycle) plus the final partial window: a stacked
+   cycles-per-bucket track Perfetto draws alongside the span lanes. *)
+let attrib_counter_objs a =
+  if not (Attrib.enabled a) then []
+  else begin
+    let name = "attrib (cycles/window)" in
+    let event (end_cycle, deltas) =
+      counter_obj ~name ~ts:end_cycle ~tid:0
+        (List.filter_map
+           (fun b ->
+             let v = deltas.(Attrib.index b) in
+             if v = 0 then None else Some (Attrib.name b, v))
+           Attrib.all)
+    in
+    List.map event
+      (Attrib.samples a
+      @ match Attrib.pending a with Some s -> [ s ] | None -> [])
+  end
+
+let to_json ?(attrib = Attrib.disabled) trace =
   let b = Buffer.create 65536 in
   Buffer.add_string b "{\"traceEvents\":[";
   let first = ref true in
@@ -93,6 +123,7 @@ let to_json trace =
          ~args:[ ("name", Trace.track_name trace ~track) ]
          ())
   done;
+  List.iter emit (attrib_counter_objs attrib);
   Trace.iter trace (fun ~track ~cycle ev ->
       List.iter emit (event_objs ~tid:track ~cycle ev));
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
@@ -119,5 +150,5 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
-let write_json ~path trace = write_file path (to_json trace)
+let write_json ?attrib ~path trace = write_file path (to_json ?attrib trace)
 let write_csv ~path trace = write_file path (to_csv trace)

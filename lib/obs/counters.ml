@@ -87,6 +87,12 @@ let record_pool ?(prefix = "sweep") t (s : Occamy_util.Domain_pool.stats) =
       addf (p "promoted_words") ws.Work_steal.ws_promoted_words)
     s.Domain_pool.st_per_worker
 
+(** Flat JSON object fields in sorted-name order: the stable iteration
+    order the JSON and OpenMetrics exporters rely on for deterministic,
+    diffable output. *)
+let to_json t =
+  List.map (fun (k, v) -> (k, Occamy_util.Json.Num v)) (to_list t)
+
 (** One [name,value] row per counter — pairs with the other CSV dumps. *)
 let to_csv t =
   let b = Buffer.create 1024 in

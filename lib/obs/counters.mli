@@ -35,5 +35,10 @@ val record_pool : ?prefix:string -> t -> Occamy_util.Domain_pool.stats -> unit
     sweep; pass it as [Domain_pool.map]'s [?stats] callback (it runs on
     the calling domain, so no locking is needed). *)
 
+val to_json : t -> (string * Occamy_util.Json.value) list
+(** Flat JSON object fields, sorted by name — the stable iteration
+    order that keeps JSON and OpenMetrics exports deterministic across
+    runs ({!to_list} order). *)
+
 val to_csv : t -> string
 (** ["name,value"] header plus one row per counter. *)

@@ -5,6 +5,7 @@ let schema_version = 1
 let sections_path = "BENCH_sections.json"
 let perf_path = "BENCH_perf.json"
 let profile_path = "BENCH_profile.json"
+let attrib_path = "BENCH_attrib.json"
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)

@@ -23,6 +23,9 @@ val perf_path : string
 val profile_path : string
 (** ["BENCH_profile.json"] — per-stage profile shares. *)
 
+val attrib_path : string
+(** ["BENCH_attrib.json"] — top-down cycle-accounting shares. *)
+
 (** {2 Writing} *)
 
 val append_line : path:string -> (string * Json.value) list -> unit
