@@ -23,7 +23,8 @@ module E = Occamy_experiments
 
 let known_sections =
   [ "table4"; "table3"; "fig2"; "table5"; "fig14"; "fig10"; "fig16"; "fig12";
-    "ablations"; "micro"; "perf"; "scaling"; "profile"; "attrib" ]
+    "ablations"; "micro"; "perf"; "scaling"; "profile"; "attrib";
+    "reliability" ]
 
 let usage () =
   Printf.eprintf
@@ -74,7 +75,8 @@ let run_compare args =
     else
       List.filter Sys.file_exists
         [ Bench_log.sections_path; Bench_log.perf_path;
-          Bench_log.profile_path; Bench_log.attrib_path ]
+          Bench_log.profile_path; Bench_log.attrib_path;
+          Bench_log.reliability_path ]
   in
   if files = [] then bad "no trajectory files found (run some bench sections first)";
   let load_all paths =
@@ -709,6 +711,33 @@ let run_attrib () =
     reports
 
 (* ------------------------------------------------------------------ *)
+(* Reliability: TMR cost/benefit (BENCH_reliability.json)              *)
+(* ------------------------------------------------------------------ *)
+
+let reliability_json = Bench_log.reliability_path
+
+let run_reliability () =
+  let t0 = Unix.gettimeofday () in
+  let r = E.Reliability.run () in
+  Format.printf "%a@." E.Reliability.pp r;
+  E.Reliability.write_json ~path:reliability_json
+    ~seconds:(Unix.gettimeofday () -. t0)
+    r;
+  Printf.printf "wrote %s\n%!" reliability_json;
+  (* The acceptance gate: a TMR trial whose output diverges from the
+     fault-free run is silent corruption — never acceptable. *)
+  let silent = E.Reliability.silent r in
+  if silent > 0 then begin
+    Printf.eprintf
+      "bench: %d silent corruption%s escaped TMR (%d/%d trials masked)\n%!"
+      silent
+      (if silent = 1 then "" else "s")
+      r.E.Reliability.tmr_faults.E.Reliability.masked
+      r.E.Reliability.tmr_faults.E.Reliability.trials;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Golden-metrics drift gate (--golden-check / --golden-update)        *)
 (* ------------------------------------------------------------------ *)
 
@@ -728,7 +757,12 @@ let golden_core_keys cores =
     (List.init cores (fun c ->
          List.map
            (Printf.sprintf "core%d.%s" c)
-           [ "finish"; "issued_compute"; "issued_mem"; "reconfigs" ]))
+           [
+             "finish"; "issued_compute"; "issued_mem"; "reconfigs";
+             (* Injection is off in every gated machine: these must stay
+                0, pinning the fault layer's zero-overhead default. *)
+             "fault_opportunities"; "faults_injected";
+           ]))
 
 let golden_sim_keys =
   [ "sim.total_cycles"; "sim.simd_util"; "sim.busy_lane_cycles";
@@ -759,6 +793,19 @@ let golden_metrics () =
         Config.four_core,
         Occamy_workloads.Suite.compile_group ~tc_scale:0.3
           (List.hd Occamy_workloads.Suite.four_core_groups) );
+      (* The motivating pair lowered with lane-level TMR (keys under
+         "tmr."), at reduced trip counts — replicated issue streams and
+         voter instructions change lane demand, so TMR timing drift is
+         caught by the same gate. Injection itself stays off. *)
+      ( "tmr.",
+        Config.default,
+        Occamy_workloads.Motivating.pair
+          ~options:
+            {
+              Occamy_compiler.Codegen.default_options with
+              Occamy_compiler.Codegen.tmr = true;
+            }
+          ~tc0:3072 ~tc1:49152 () );
     ]
   in
   List.concat_map
@@ -883,4 +930,5 @@ let () =
   timed "scaling" run_scaling;
   timed "profile" run_profile;
   timed "attrib" run_attrib;
+  timed "reliability" run_reliability;
   print_endline "\nAll requested sections completed."

@@ -53,6 +53,49 @@ val run :
     are caught and reported as failures — a fuzzer must survive its own
     counterexamples. *)
 
+val eps : float
+(** Relative value tolerance of the interp-vs-reference comparison. *)
+
+val fresh_image :
+  seed:int ->
+  ?extra_plan:(string * int) list ->
+  Occamy_compiler.Loop_ir.t list ->
+  (string, float array) Hashtbl.t
+(** The deterministic initial memory image of a case (keyed by its
+    schedule seed): every array of the loops' {!Occamy_compiler.Codegen.array_plan},
+    random in [-2, 2). [extra_plan] widens arrays whose padded size
+    differs in the program actually compiled. *)
+
+val copy_image :
+  (string, float array) Hashtbl.t -> (string, float array) Hashtbl.t
+
+val lookup : (string, float array) Hashtbl.t -> string -> float array
+(** Raises [Invalid_argument] on a missing array. *)
+
+val predicted_bytes :
+  options:Occamy_compiler.Codegen.options ->
+  Occamy_compiler.Loop_ir.t list ->
+  float
+(** The static Equation-5 traffic prediction for a compiled workload on
+    one core: per-iteration issue bytes times the iteration space of
+    every phase that runs vectorized under [options] (TMR-aware — a TMR
+    lowering issues each load three times). The simulator's observed
+    vector-memory traffic must equal this exactly. *)
+
+val run_interp :
+  stage:string ->
+  eps:float ->
+  ?env:Occamy_isa.Interp.env ->
+  Occamy_core.Workload.t ->
+  (string, float array) Hashtbl.t ->
+  (string, float array) Hashtbl.t ->
+  (unit, failure) result
+(** Run the compiled workload under the functional interpreter seeded
+    from the init image (last argument) and compare every declared array
+    against the expectation image (second-to-last): the single-executor
+    building block of {!run}, exposed for the fault-injection layer's
+    fault-free sanity checks. *)
+
 val schedule_env :
   ?max_granules:int ->
   ?period:int ->

@@ -6,6 +6,7 @@ let sections_path = "BENCH_sections.json"
 let perf_path = "BENCH_perf.json"
 let profile_path = "BENCH_profile.json"
 let attrib_path = "BENCH_attrib.json"
+let reliability_path = "BENCH_reliability.json"
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)

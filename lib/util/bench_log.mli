@@ -26,6 +26,9 @@ val profile_path : string
 val attrib_path : string
 (** ["BENCH_attrib.json"] — top-down cycle-accounting shares. *)
 
+val reliability_path : string
+(** ["BENCH_reliability.json"] — TMR cost/benefit runs. *)
+
 (** {2 Writing} *)
 
 val append_line : path:string -> (string * Json.value) list -> unit
